@@ -1,0 +1,77 @@
+//! End-to-end detector benchmarks: full iterative Rejecto, the VoteTrust
+//! baseline, and SybilRank — per-detection cost on a fixed attacked graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rejecto::pipeline::{self, PipelineConfig};
+use simulator::{Scenario, ScenarioConfig};
+use socialgraph::surrogates::Surrogate;
+use std::hint::black_box;
+use sybilrank::{SybilRank, SybilRankConfig};
+use votetrust::{RequestGraph, VoteTrust};
+
+fn scenario(scale: f64) -> simulator::SimOutput {
+    let host = Surrogate::Facebook.generate_scaled(1, scale);
+    let fakes = (10_000.0 * scale) as usize;
+    Scenario::new(ScenarioConfig { num_fakes: fakes, ..ScenarioConfig::default() })
+        .run(&host, 42)
+}
+
+fn bench_rejecto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rejecto_pipeline");
+    group.sample_size(10);
+    for &scale in &[0.05f64, 0.1, 0.2] {
+        let sim = scenario(scale);
+        let budget = sim.fakes.len();
+        let cfg = PipelineConfig::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter((scale * 20_000.0) as usize),
+            &sim,
+            |b, sim| {
+                b.iter(|| black_box(pipeline::rejecto_suspects(sim, &cfg, budget)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_votetrust(c: &mut Criterion) {
+    let mut group = c.benchmark_group("votetrust");
+    group.sample_size(10);
+    for &scale in &[0.05f64, 0.1, 0.2] {
+        let sim = scenario(scale);
+        let g = RequestGraph::from_requests(
+            sim.graph.num_nodes(),
+            sim.log.requests().iter().map(|r| (r.from, r.to, r.accepted)),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter((scale * 20_000.0) as usize),
+            &g,
+            |b, g| {
+                let vt = VoteTrust::default();
+                b.iter(|| black_box(vt.rank(g, &[rejection::NodeId(0)])))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sybilrank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sybilrank");
+    group.sample_size(10);
+    for &scale in &[0.1f64, 0.2, 0.5] {
+        let sim = scenario(scale);
+        let graph = sim.graph.friendship_graph();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(graph.num_nodes()),
+            &graph,
+            |b, graph| {
+                let sr = SybilRank::new(SybilRankConfig::default());
+                b.iter(|| black_box(sr.rank(graph, &[rejection::NodeId(0)])))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rejecto, bench_votetrust, bench_sybilrank);
+criterion_main!(benches);

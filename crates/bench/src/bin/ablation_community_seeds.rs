@@ -1,0 +1,76 @@
+//! Ablation (§IV-F): random seed sampling vs community-spread seed
+//! selection "as in SybilRank".
+//!
+//! Spurious low-ratio cuts inside the legitimate region become likely when
+//! legitimate users carry many rejections (the Fig 12 high-rejection
+//! regime). Community-spread seeds anchor every legitimate community, so a
+//! cut carving one off conflicts with a pinned seed. This harness compares
+//! the two seeding policies across the legit-rejection sweep.
+
+use bench::Harness;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rejecto_core::{IterativeDetector, RejectoConfig, Seeds, Termination};
+use serde::Serialize;
+use simulator::{sample_seeds, sample_seeds_community, ScenarioConfig};
+use socialgraph::surrogates::Surrogate;
+
+#[derive(Debug, Clone, Serialize)]
+struct Row {
+    legit_rejection_rate: f64,
+    random_seeds: f64,
+    community_seeds: f64,
+    no_seeds: f64,
+}
+
+fn main() {
+    let h = Harness::from_env("ablation_community_seeds");
+    let host = h.host(Surrogate::Facebook);
+    let detector = IterativeDetector::new(RejectoConfig::default());
+
+    let mut rows = Vec::new();
+    for rate in [0.2, 0.4, 0.6, 0.8] {
+        let sim = h.simulate(
+            &host,
+            ScenarioConfig { legit_rejection_rate: rate, ..ScenarioConfig::default() },
+        );
+        let budget = sim.fakes.len();
+        let precision_with = |seeds: Seeds| -> f64 {
+            let report = detector.detect(&sim.graph, &seeds, Termination::SuspectBudget(budget));
+            let suspects = report.suspects_top(budget, &sim.graph);
+            let idx: Vec<usize> = suspects.iter().map(|s| s.index()).collect();
+            eval::precision_recall(&idx, &sim.is_fake).precision()
+        };
+
+        let mut rng = ChaCha8Rng::seed_from_u64(h.seed);
+        let (legit_r, spam_r) = sample_seeds(&sim, 20, 20, &mut rng);
+        let random_seeds = precision_with(Seeds { legit: legit_r, spammer: spam_r });
+
+        let mut rng = ChaCha8Rng::seed_from_u64(h.seed);
+        let (legit_c, spam_c) = sample_seeds_community(&sim, &host, 20, 20, &mut rng);
+        let community_seeds = precision_with(Seeds { legit: legit_c, spammer: spam_c });
+
+        let no_seeds = precision_with(Seeds::default());
+
+        eprintln!(
+            "  rate {rate}: random {random_seeds:.4} community {community_seeds:.4} none {no_seeds:.4}"
+        );
+        rows.push(Row { legit_rejection_rate: rate, random_seeds, community_seeds, no_seeds });
+    }
+
+    let mut t = eval::table::Table::new([
+        "legit_rejection_rate",
+        "random_seeds",
+        "community_seeds",
+        "no_seeds",
+    ]);
+    for r in &rows {
+        t.row([
+            format!("{}", r.legit_rejection_rate),
+            eval::table::fnum(r.random_seeds),
+            eval::table::fnum(r.community_seeds),
+            eval::table::fnum(r.no_seeds),
+        ]);
+    }
+    h.emit(&t, &rows);
+}

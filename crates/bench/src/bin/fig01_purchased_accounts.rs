@@ -1,0 +1,51 @@
+//! Figure 1: the numbers of friends and pending requests on the purchased
+//! fake accounts — the measurement that motivates the whole system (even
+//! well-maintained fakes carry a heavy pending-request load).
+//!
+//! Our synthetic study population is drawn to match the paper's reported
+//! envelope: 43 accounts, each ≥50 friends and ≥1 year old, pending
+//! fraction per account in [16.7%, 67.9%], aggregate 2,804 friends and
+//! 2,065 pending (ours matches in expectation; see DESIGN.md §3).
+
+use bench::Harness;
+use serde::Serialize;
+use simulator::{PurchasedStudy, PurchasedStudyConfig};
+
+#[derive(Debug, Clone, Serialize)]
+struct Row {
+    account: u32,
+    friends: u32,
+    pending: u32,
+    pending_fraction: f64,
+}
+
+fn main() {
+    let h = Harness::from_env("fig01_purchased_accounts");
+    let study = PurchasedStudy::generate(PurchasedStudyConfig::default(), h.seed);
+    let rows: Vec<Row> = study
+        .accounts
+        .iter()
+        .map(|a| Row {
+            account: a.id,
+            friends: a.friends,
+            pending: a.pending,
+            pending_fraction: a.pending_fraction(),
+        })
+        .collect();
+
+    let mut t = eval::table::Table::new(["account", "friends", "pending", "pending_frac"]);
+    for r in &rows {
+        t.row([
+            r.account.to_string(),
+            r.friends.to_string(),
+            r.pending.to_string(),
+            eval::table::fnum(r.pending_fraction),
+        ]);
+    }
+    println!(
+        "totals: friends {} pending {} (paper: 2804 / 2065)",
+        study.total_friends(),
+        study.total_pending()
+    );
+    h.emit(&t, &rows);
+}

@@ -1,0 +1,21 @@
+//! Figure 9: precision/recall as a function of the number of requests per
+//! fake account (5–50), when **all** fake accounts send friend spam.
+//!
+//! Expected shape (paper): Rejecto stays ≳0.99 across the whole sweep;
+//! VoteTrust starts noticeably lower at small request volumes and climbs
+//! with more requests (its PageRank-style vote assignment is sensitive to
+//! request volume).
+
+use bench::{comparison_table, sweep, Harness};
+use simulator::ScenarioConfig;
+use socialgraph::surrogates::Surrogate;
+
+fn main() {
+    let h = Harness::from_env("fig09_request_volume");
+    let xs: Vec<f64> = (1..=10).map(|i| (i * 5) as f64).collect();
+    let rows = sweep(&h, Surrogate::Facebook, "requests_per_fake", &xs, |x| ScenarioConfig {
+        requests_per_spammer: x as usize,
+        ..ScenarioConfig::default()
+    });
+    h.emit(&comparison_table("requests_per_fake", &rows), &rows);
+}

@@ -1,0 +1,23 @@
+//! Figure 10: precision/recall vs requests per fake account when only
+//! **half** of the fake accounts send friend spam (the rest hide behind
+//! intra-fake friendships).
+//!
+//! Expected shape (paper): Rejecto stays high — placing the silent fakes in
+//! the legitimate region would raise the cut's acceptance ratio, so the
+//! MAAR cut keeps them with the spammers. VoteTrust collapses to ≈0.5: its
+//! per-user rating cannot implicate fakes that never sent a request.
+
+use bench::{comparison_table, sweep, Harness};
+use simulator::ScenarioConfig;
+use socialgraph::surrogates::Surrogate;
+
+fn main() {
+    let h = Harness::from_env("fig10_half_spammers");
+    let xs: Vec<f64> = (1..=10).map(|i| (i * 5) as f64).collect();
+    let rows = sweep(&h, Surrogate::Facebook, "requests_per_fake", &xs, |x| ScenarioConfig {
+        requests_per_spammer: x as usize,
+        spammer_fraction: 0.5,
+        ..ScenarioConfig::default()
+    });
+    h.emit(&comparison_table("requests_per_fake", &rows), &rows);
+}

@@ -1,0 +1,20 @@
+//! Figure 11: precision/recall as a function of the rejection rate of spam
+//! requests (0.1–0.95; the paper reads 0.5–0.95 as the meaningful regime).
+//!
+//! Expected shape (paper): both schemes are weak when legitimate users
+//! accept most spam; accuracy improves with the rejection rate, and
+//! Rejecto detects almost everything once the rate reaches ≈0.6.
+
+use bench::{comparison_table, sweep, Harness};
+use simulator::ScenarioConfig;
+use socialgraph::surrogates::Surrogate;
+
+fn main() {
+    let h = Harness::from_env("fig11_spam_rejection_rate");
+    let xs: Vec<f64> = (1..=19).map(|i| i as f64 * 0.05).collect();
+    let rows = sweep(&h, Surrogate::Facebook, "spam_rejection_rate", &xs, |x| ScenarioConfig {
+        spam_rejection_rate: x,
+        ..ScenarioConfig::default()
+    });
+    h.emit(&comparison_table("spam_rejection_rate", &rows), &rows);
+}

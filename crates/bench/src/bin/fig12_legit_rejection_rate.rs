@@ -1,0 +1,21 @@
+//! Figure 12: precision/recall as a function of the rejection rate of
+//! requests **among legitimate users** (0.05–0.95), spam rejection fixed
+//! at 0.7.
+//!
+//! Expected shape (paper): both schemes degrade as the legitimate rejection
+//! rate climbs toward the spam rejection rate — the rejection-rate gap that
+//! separates the populations shrinks to nothing.
+
+use bench::{comparison_table, sweep, Harness};
+use simulator::ScenarioConfig;
+use socialgraph::surrogates::Surrogate;
+
+fn main() {
+    let h = Harness::from_env("fig12_legit_rejection_rate");
+    let xs: Vec<f64> = (1..=19).map(|i| i as f64 * 0.05).collect();
+    let rows = sweep(&h, Surrogate::Facebook, "legit_rejection_rate", &xs, |x| ScenarioConfig {
+        legit_rejection_rate: x,
+        ..ScenarioConfig::default()
+    });
+    h.emit(&comparison_table("legit_rejection_rate", &rows), &rows);
+}

@@ -1,0 +1,23 @@
+//! Figure 13: resilience to collusion — precision/recall as a function of
+//! the number of accepted intra-fake ("non-attack") edges per fake account
+//! (0–40). At 40 edges each fake's individual rejection ratio drops from
+//! 70% to ≈23%.
+//!
+//! Expected shape (paper): Rejecto is flat — edges among colluders never
+//! enter the aggregate acceptance rate of the cross-region cut. VoteTrust
+//! degrades as collusion densifies, because its rating is a per-user
+//! acceptance average that accepted intra-fake requests dilute.
+
+use bench::{comparison_table, sweep, Harness};
+use simulator::ScenarioConfig;
+use socialgraph::surrogates::Surrogate;
+
+fn main() {
+    let h = Harness::from_env("fig13_collusion");
+    let xs: Vec<f64> = (0..=8).map(|i| (i * 5) as f64).collect();
+    let rows = sweep(&h, Surrogate::Facebook, "intra_edges_per_fake", &xs, |x| ScenarioConfig {
+        fake_intra_edges: x as usize,
+        ..ScenarioConfig::default()
+    });
+    h.emit(&comparison_table("intra_edges_per_fake", &rows), &rows);
+}

@@ -1,0 +1,32 @@
+//! Figure 14: resilience to the self-rejection whitewashing strategy —
+//! precision/recall as a function of the rejection rate of intra-fake
+//! requests (0.05–0.95). Half of the fakes are whitewashed (they keep
+//! spamming but reject internal requests from the sacrificed half, which
+//! sends no spam).
+//!
+//! Expected shape (paper): Rejecto stays high with a slight dip where the
+//! crafted internal cut's ratio approaches the true spammer/legitimate
+//! ratio (self-rejection rate ≈ 0.7, the spam rejection rate); above that
+//! the iterative pruning catches the sacrificed senders first and the
+//! whitewashed spammers next. VoteTrust starts around 0.5 (the sacrificed
+//! fakes' internal requests are all accepted, so they look clean) and
+//! improves as the internal rejections hurt their individual ratings.
+
+use bench::{comparison_table, sweep, Harness};
+use simulator::{ScenarioConfig, SelfRejectionConfig};
+use socialgraph::surrogates::Surrogate;
+
+fn main() {
+    let h = Harness::from_env("fig14_self_rejection");
+    let whitewashed = h.n(5_000);
+    let xs: Vec<f64> = (1..=19).map(|i| i as f64 * 0.05).collect();
+    let rows = sweep(&h, Surrogate::Facebook, "self_rejection_rate", &xs, |x| ScenarioConfig {
+        self_rejection: Some(SelfRejectionConfig {
+            whitewashed,
+            requests_per_sender: 20,
+            rejection_rate: x,
+        }),
+        ..ScenarioConfig::default()
+    });
+    h.emit(&comparison_table("self_rejection_rate", &rows), &rows);
+}

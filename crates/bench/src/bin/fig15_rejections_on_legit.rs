@@ -1,0 +1,25 @@
+//! Figure 15: precision/recall as a function of the number of rejections
+//! cast **on legitimate users** by fakes (16K–160K at paper scale):
+//! legitimate users' requests to the spamming region, all rejected.
+//! Rejections from legit to fakes stay fixed at ≈140K (10K fakes × 20
+//! requests × 0.7).
+//!
+//! Expected shape (paper): Rejecto tolerates up to ≈120K added rejections,
+//! then collapses abruptly near 140K — the point where legitimate users
+//! carry as many rejections as the spammers and the two regions become
+//! indistinguishable by acceptance rate. VoteTrust degrades almost
+//! linearly throughout.
+
+use bench::{comparison_table, sweep, Harness};
+use simulator::ScenarioConfig;
+use socialgraph::surrogates::Surrogate;
+
+fn main() {
+    let h = Harness::from_env("fig15_rejections_on_legit");
+    let xs: Vec<f64> = (1..=10).map(|i| (h.n(16_000) * i) as f64).collect();
+    let rows = sweep(&h, Surrogate::Facebook, "rejections_on_legit", &xs, |x| ScenarioConfig {
+        legit_requests_rejected_by_fakes: x as u64,
+        ..ScenarioConfig::default()
+    });
+    h.emit(&comparison_table("rejections_on_legit", &rows), &rows);
+}

@@ -1,0 +1,55 @@
+//! Figure 17 (appendix A): the four sensitivity sweeps of §VI-B repeated
+//! on the six non-Facebook graphs — per graph: (a) request volume with all
+//! fakes spamming, (b) request volume with half spamming, (c) spam
+//! rejection rate, (d) legitimate rejection rate.
+//!
+//! Expected shape (paper): "similar trends" to Figures 9–12 on every
+//! graph. This is the long harness; the default point grid is coarser
+//! than the single-graph figures (set `REJECTO_POINTS` to densify).
+
+use bench::{comparison_table, sweep, ComparisonRow, Harness};
+use simulator::ScenarioConfig;
+use socialgraph::surrogates::Surrogate;
+
+fn points(default: usize) -> usize {
+    std::env::var("REJECTO_POINTS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1).max(1) as f64).collect()
+}
+
+fn main() {
+    let h = Harness::from_env("fig17_sensitivity_all_graphs");
+    let n = points(5);
+    let mut all: Vec<ComparisonRow> = Vec::new();
+
+    for graph in Surrogate::APPENDIX {
+        eprintln!("=== {} ===", graph.name());
+        // (a) request volume, all fakes spam.
+        let xs = grid(5.0, 50.0, n).iter().map(|x| x.round()).collect::<Vec<_>>();
+        all.extend(sweep(&h, graph, "requests_all", &xs, |x| ScenarioConfig {
+            requests_per_spammer: x as usize,
+            ..ScenarioConfig::default()
+        }));
+        // (b) request volume, half of the fakes spam.
+        all.extend(sweep(&h, graph, "requests_half", &xs, |x| ScenarioConfig {
+            requests_per_spammer: x as usize,
+            spammer_fraction: 0.5,
+            ..ScenarioConfig::default()
+        }));
+        // (c) spam rejection rate.
+        let rates = grid(0.1, 0.95, n);
+        all.extend(sweep(&h, graph, "spam_rejection", &rates, |x| ScenarioConfig {
+            spam_rejection_rate: x,
+            ..ScenarioConfig::default()
+        }));
+        // (d) legitimate rejection rate.
+        let rates = grid(0.05, 0.95, n);
+        all.extend(sweep(&h, graph, "legit_rejection", &rates, |x| ScenarioConfig {
+            legit_rejection_rate: x,
+            ..ScenarioConfig::default()
+        }));
+    }
+    h.emit(&comparison_table("x", &all), &all);
+}

@@ -1,0 +1,52 @@
+//! Figure 18 (appendix B): the three attack-strategy sweeps of §VI-C
+//! repeated on the six non-Facebook graphs — per graph: (a) collusion,
+//! (b) self-rejection, (c) legitimate users' requests rejected by Sybils.
+//!
+//! Expected shape (paper): "similar trends" to Figures 13–15 on every
+//! graph. Coarser default grid; set `REJECTO_POINTS` to densify.
+
+use bench::{comparison_table, sweep, ComparisonRow, Harness};
+use simulator::{ScenarioConfig, SelfRejectionConfig};
+use socialgraph::surrogates::Surrogate;
+
+fn points(default: usize) -> usize {
+    std::env::var("REJECTO_POINTS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1).max(1) as f64).collect()
+}
+
+fn main() {
+    let h = Harness::from_env("fig18_resilience_all_graphs");
+    let n = points(5);
+    let whitewashed = h.n(5_000);
+    let mut all: Vec<ComparisonRow> = Vec::new();
+
+    for graph in Surrogate::APPENDIX {
+        eprintln!("=== {} ===", graph.name());
+        // (a) collusion: intra-fake accepted requests per fake.
+        let xs = grid(0.0, 40.0, n).iter().map(|x| x.round()).collect::<Vec<_>>();
+        all.extend(sweep(&h, graph, "collusion_edges", &xs, |x| ScenarioConfig {
+            fake_intra_edges: x as usize,
+            ..ScenarioConfig::default()
+        }));
+        // (b) self-rejection rate.
+        let rates = grid(0.05, 0.95, n);
+        all.extend(sweep(&h, graph, "self_rejection", &rates, |x| ScenarioConfig {
+            self_rejection: Some(SelfRejectionConfig {
+                whitewashed,
+                requests_per_sender: 20,
+                rejection_rate: x,
+            }),
+            ..ScenarioConfig::default()
+        }));
+        // (c) rejections cast on legitimate users (16K–160K at paper scale).
+        let counts = grid(h.n(16_000) as f64, h.n(160_000) as f64, n);
+        all.extend(sweep(&h, graph, "rejections_on_legit", &counts, |x| ScenarioConfig {
+            legit_requests_rejected_by_fakes: x as u64,
+            ..ScenarioConfig::default()
+        }));
+    }
+    h.emit(&comparison_table("x", &all), &all);
+}

@@ -1,0 +1,160 @@
+//! Renders SVG figures from the JSON rows the experiment harnesses wrote
+//! under `results/` — run the harnesses (or `./run_experiments.sh`) first,
+//! then:
+//!
+//! ```sh
+//! cargo run --release -p bench --bin render_figures
+//! ```
+//!
+//! Produces `results/<figure>.svg` for every comparison figure present
+//! plus the defense-in-depth and scalability plots.
+
+use bench::plot::{render, ChartConfig, Series};
+use serde_json::Value;
+use std::path::Path;
+
+fn read_rows(path: &Path) -> Option<Vec<Value>> {
+    let data = std::fs::read_to_string(path).ok()?;
+    Some(data.lines().filter_map(|l| serde_json::from_str(l).ok()).collect())
+}
+
+fn num(v: &Value, key: &str) -> Option<f64> {
+    v.get(key)?.as_f64()
+}
+
+/// Builds Rejecto/VoteTrust series per (graph, x_label) group.
+fn comparison_series(rows: &[Value]) -> Vec<(String, Vec<Series>)> {
+    let mut groups: Vec<(String, String)> = Vec::new();
+    for r in rows {
+        let g = r["graph"].as_str().unwrap_or("?").to_string();
+        let xl = r["x_label"].as_str().unwrap_or("x").to_string();
+        if !groups.contains(&(g.clone(), xl.clone())) {
+            groups.push((g, xl));
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(g, xl)| {
+            let mut rj = Vec::new();
+            let mut vt = Vec::new();
+            for r in rows {
+                if r["graph"].as_str() == Some(&g) && r["x_label"].as_str() == Some(&xl) {
+                    if let (Some(x), Some(a), Some(b)) =
+                        (num(r, "x"), num(r, "rejecto"), num(r, "votetrust"))
+                    {
+                        rj.push((x, a));
+                        vt.push((x, b));
+                    }
+                }
+            }
+            let key = format!("{g}:{xl}");
+            (
+                key,
+                vec![
+                    Series { name: "Rejecto".into(), points: rj },
+                    Series { name: "VoteTrust".into(), points: vt },
+                ],
+            )
+        })
+        .collect()
+}
+
+fn write_svg(out_dir: &Path, stem: &str, cfg: &ChartConfig, series: &[Series]) {
+    if series.iter().all(|s| s.points.is_empty()) {
+        return;
+    }
+    let svg = render(cfg, series);
+    let path = out_dir.join(format!("{stem}.svg"));
+    std::fs::write(&path, svg).expect("cannot write svg");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let dir = Path::new("results");
+    let singles = [
+        ("fig09_request_volume", "requests per fake account"),
+        ("fig10_half_spammers", "requests per fake account (half spam)"),
+        ("fig11_spam_rejection_rate", "rejection rate of spam requests"),
+        ("fig12_legit_rejection_rate", "rejection rate of legitimate requests"),
+        ("fig13_collusion", "non-attack edges per fake account"),
+        ("fig14_self_rejection", "self-rejection rate among fake accounts"),
+        ("fig15_rejections_on_legit", "rejections cast on legitimate users"),
+    ];
+    for (stem, x_label) in singles {
+        let Some(rows) = read_rows(&dir.join(format!("{stem}.json"))) else { continue };
+        for (key, series) in comparison_series(&rows) {
+            let cfg = ChartConfig {
+                title: format!("{stem} [{key}]"),
+                x_label: x_label.to_string(),
+                y_label: "precision / recall".to_string(),
+                ..Default::default()
+            };
+            let suffix = key.replace([':', '/'], "_");
+            write_svg(dir, &format!("{stem}_{suffix}"), &cfg, &series);
+        }
+    }
+
+    // Appendix sweeps: one SVG per (graph, scenario).
+    for stem in ["fig17_sensitivity_all_graphs", "fig18_resilience_all_graphs"] {
+        let Some(rows) = read_rows(&dir.join(format!("{stem}.json"))) else { continue };
+        for (key, series) in comparison_series(&rows) {
+            let cfg = ChartConfig {
+                title: key.clone(),
+                x_label: key.split(':').nth(1).unwrap_or("x").to_string(),
+                y_label: "precision / recall".to_string(),
+                ..Default::default()
+            };
+            let suffix = key.replace([':', '/'], "_");
+            write_svg(dir, &format!("{stem}_{suffix}"), &cfg, &series);
+        }
+    }
+
+    // Fig 16: AUC vs removed, one series per graph.
+    if let Some(rows) = read_rows(&dir.join("fig16_defense_in_depth.json")) {
+        let mut graphs: Vec<String> = Vec::new();
+        for r in &rows {
+            let g = r["graph"].as_str().unwrap_or("?").to_string();
+            if !graphs.contains(&g) {
+                graphs.push(g);
+            }
+        }
+        let series: Vec<Series> = graphs
+            .iter()
+            .map(|g| Series {
+                name: g.clone(),
+                points: rows
+                    .iter()
+                    .filter(|r| r["graph"].as_str() == Some(g))
+                    .filter_map(|r| Some((num(r, "removed")?, num(r, "auc")?)))
+                    .collect(),
+            })
+            .collect();
+        let cfg = ChartConfig {
+            title: "Fig 16: SybilRank AUC vs accounts removed by Rejecto".into(),
+            x_label: "accounts removed".into(),
+            y_label: "area under ROC curve".into(),
+            y_range: Some((0.5, 1.0)),
+            ..Default::default()
+        };
+        write_svg(dir, "fig16_defense_in_depth", &cfg, &series);
+    }
+
+    // Table II: time vs users (log-ish by plotting raw values).
+    if let Some(rows) = read_rows(&dir.join("table2_scalability.json")) {
+        let series = vec![Series {
+            name: "Rejecto (distributed)".into(),
+            points: rows
+                .iter()
+                .filter_map(|r| Some((num(r, "users")?, num(r, "seconds")?)))
+                .collect(),
+        }];
+        let cfg = ChartConfig {
+            title: "Table II: execution time vs graph size".into(),
+            x_label: "users".into(),
+            y_label: "seconds".into(),
+            y_range: None,
+            ..Default::default()
+        };
+        write_svg(dir, "table2_scalability", &cfg, &series);
+    }
+}

@@ -1,0 +1,78 @@
+//! Table I: the social graphs used in the simulation — nodes, edges,
+//! average clustering coefficient, and diameter, for every surrogate,
+//! side by side with the statistics the paper reports for the original
+//! datasets.
+//!
+//! The diameter column reports the iterated double-sweep lower bound on
+//! the largest component (exact on these small-world graphs in practice).
+//! Synthetic generators produce tighter small worlds than the crawled
+//! originals, so surrogate diameters land below the paper's (see
+//! EXPERIMENTS.md for the discussion).
+
+use bench::Harness;
+use serde::Serialize;
+use socialgraph::surrogates::Surrogate;
+use socialgraph::{metrics, NodeId};
+
+#[derive(Debug, Clone, Serialize)]
+struct Row {
+    graph: String,
+    nodes: usize,
+    edges: u64,
+    clustering: f64,
+    diameter_lb: u32,
+    paper_nodes: usize,
+    paper_edges: u64,
+    paper_clustering: f64,
+    paper_diameter: u32,
+}
+
+fn main() {
+    let h = Harness::from_env("table1_graphs");
+    let mut rows = Vec::new();
+    for s in Surrogate::ALL {
+        let g = h.host(s);
+        let cc = metrics::average_clustering(&g);
+        let comp = metrics::largest_component(&g);
+        let start = comp.first().copied().unwrap_or(NodeId(0));
+        let diam = metrics::pseudo_diameter(&g, start, 6);
+        let p = s.paper_stats();
+        eprintln!("  [{}] n={} m={} cc={cc:.4} diam>={diam}", s.name(), g.num_nodes(), g.num_edges());
+        rows.push(Row {
+            graph: s.name().to_string(),
+            nodes: g.num_nodes(),
+            edges: g.num_edges(),
+            clustering: cc,
+            diameter_lb: diam,
+            paper_nodes: p.nodes,
+            paper_edges: p.edges,
+            paper_clustering: p.clustering,
+            paper_diameter: p.diameter,
+        });
+    }
+    let mut t = eval::table::Table::new([
+        "graph",
+        "nodes",
+        "edges",
+        "clustering",
+        "diam(lb)",
+        "paper:nodes",
+        "paper:edges",
+        "paper:cc",
+        "paper:diam",
+    ]);
+    for r in &rows {
+        t.row([
+            r.graph.clone(),
+            r.nodes.to_string(),
+            r.edges.to_string(),
+            eval::table::fnum(r.clustering),
+            r.diameter_lb.to_string(),
+            r.paper_nodes.to_string(),
+            r.paper_edges.to_string(),
+            eval::table::fnum(r.paper_clustering),
+            r.paper_diameter.to_string(),
+        ]);
+    }
+    h.emit(&t, &rows);
+}

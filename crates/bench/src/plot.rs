@@ -1,0 +1,271 @@
+//! A minimal SVG line-chart renderer, so the harness regenerates actual
+//! figure files (`results/*.svg`) and not just tables.
+//!
+//! Deliberately tiny: multi-series line charts with axes, ticks, labels,
+//! and a legend — exactly what the paper's precision/recall and AUC plots
+//! need. No external dependencies.
+
+use std::fmt::Write as _;
+
+/// One named line series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points; rendered in the given order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart-level options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChartConfig {
+    /// Title printed above the plot area.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Fixed y range; `None` auto-scales to the data (padded).
+    pub y_range: Option<(f64, f64)>,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+}
+
+impl Default for ChartConfig {
+    fn default() -> Self {
+        ChartConfig {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            y_range: Some((0.0, 1.0)),
+            width: 640,
+            height: 420,
+        }
+    }
+}
+
+const COLORS: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b"];
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 16.0;
+const MARGIN_T: f64 = 36.0;
+const MARGIN_B: f64 = 48.0;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Formats an axis tick without trailing float noise.
+fn tick_label(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 && v.abs() < 1e7 {
+        format!("{}", v.round() as i64)
+    } else {
+        let s = format!("{v:.2}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+/// Renders the chart to an SVG document string.
+///
+/// # Panics
+///
+/// Panics if no series contains a finite point.
+pub fn render(config: &ChartConfig, series: &[Series]) -> String {
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    assert!(!pts.is_empty(), "nothing to plot");
+
+    let (x_min, x_max) = pts
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(x, _)| (lo.min(x), hi.max(x)));
+    let (x_min, x_max) = if x_min == x_max { (x_min - 0.5, x_max + 0.5) } else { (x_min, x_max) };
+    let (y_min, y_max) = config.y_range.unwrap_or_else(|| {
+        let (lo, hi) = pts
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, y)| (lo.min(y), hi.max(y)));
+        let pad = ((hi - lo) * 0.08).max(1e-9);
+        (lo - pad, hi + pad)
+    });
+
+    let (w, h) = (config.width as f64, config.height as f64);
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+    let sx = move |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * plot_w;
+    let sy = move |y: f64| MARGIN_T + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"#,
+        config.width, config.height
+    );
+    let _ = writeln!(svg, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    let _ = writeln!(
+        svg,
+        r#"<text x="{}" y="20" text-anchor="middle" font-size="14" font-weight="bold">{}</text>"#,
+        w / 2.0,
+        esc(&config.title)
+    );
+
+    // Axes frame and ticks.
+    let _ = writeln!(
+        svg,
+        r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#333"/>"##
+    );
+    let ticks = 5usize;
+    for i in 0..=ticks {
+        let fx = x_min + (x_max - x_min) * i as f64 / ticks as f64;
+        let px = sx(fx);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{px}" y1="{}" x2="{px}" y2="{}" stroke="#ccc"/>"##,
+            MARGIN_T,
+            MARGIN_T + plot_h
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{px}" y="{}" text-anchor="middle">{}</text>"#,
+            MARGIN_T + plot_h + 16.0,
+            tick_label(fx)
+        );
+        let fy = y_min + (y_max - y_min) * i as f64 / ticks as f64;
+        let py = sy(fy);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{MARGIN_L}" y1="{py}" x2="{}" y2="{py}" stroke="#ccc"/>"##,
+            MARGIN_L + plot_w
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="end">{}</text>"#,
+            MARGIN_L - 6.0,
+            py + 4.0,
+            tick_label(fy)
+        );
+    }
+    let _ = writeln!(
+        svg,
+        r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        h - 10.0,
+        esc(&config.x_label)
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="14" y="{}" text-anchor="middle" transform="rotate(-90 14 {})">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        esc(&config.y_label)
+    );
+
+    // Series.
+    for (si, s) in series.iter().enumerate() {
+        let color = COLORS[si % COLORS.len()];
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y.clamp(y_min, y_max))))
+            .collect();
+        if path.len() > 1 {
+            let _ = writeln!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                path.join(" ")
+            );
+        }
+        for p in &path {
+            let (px, py) = p.split_once(',').expect("formatted pair");
+            let _ = writeln!(svg, r#"<circle cx="{px}" cy="{py}" r="3" fill="{color}"/>"#);
+        }
+        // Legend entry.
+        let ly = MARGIN_T + 14.0 + 18.0 * si as f64;
+        let lx = MARGIN_L + plot_w - 130.0;
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+            lx + 22.0
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{}">{}</text>"#,
+            lx + 28.0,
+            ly + 4.0,
+            esc(&s.name)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series {
+                name: "Rejecto".to_string(),
+                points: vec![(5.0, 0.99), (25.0, 0.99), (50.0, 1.0)],
+            },
+            Series {
+                name: "VoteTrust".to_string(),
+                points: vec![(5.0, 0.86), (25.0, 0.92), (50.0, 0.94)],
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let cfg = ChartConfig { title: "Fig 9".into(), ..Default::default() };
+        let svg = render(&cfg, &demo_series());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("Rejecto") && svg.contains("VoteTrust"));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let cfg = ChartConfig { title: "a < b & c".into(), ..Default::default() };
+        let svg = render(&cfg, &demo_series());
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("a < b & c"));
+    }
+
+    #[test]
+    fn clamps_out_of_range_points() {
+        let cfg = ChartConfig { y_range: Some((0.0, 1.0)), ..Default::default() };
+        let series = vec![Series { name: "s".into(), points: vec![(0.0, -0.5), (1.0, 2.0)] }];
+        let svg = render(&cfg, &series);
+        // No y coordinate outside the plot area (36..=372 at default size).
+        for cap in svg.split("cy=\"").skip(1) {
+            let y: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((36.0..=372.01).contains(&y), "point escaped plot area: {y}");
+        }
+    }
+
+    #[test]
+    fn single_x_value_does_not_divide_by_zero() {
+        let series = vec![Series { name: "s".into(), points: vec![(3.0, 0.5), (3.0, 0.6)] }];
+        let svg = render(&ChartConfig::default(), &series);
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn tick_labels_are_compact() {
+        assert_eq!(tick_label(5.0), "5");
+        assert_eq!(tick_label(0.25), "0.25");
+        assert_eq!(tick_label(0.30000000004), "0.3");
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn refuses_empty_input() {
+        let _ = render(&ChartConfig::default(), &[]);
+    }
+}

@@ -1,0 +1,324 @@
+use crate::{MaarSolver, RejectoConfig};
+use rejection::{AugmentedGraph, NodeId};
+
+/// Manually inspected ground-truth users the OSN provider supplies
+/// (§III-B, §IV-F). Ids refer to the *original* graph handed to
+/// [`IterativeDetector::detect`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Seeds {
+    /// Known legitimate users, pinned to the legitimate region.
+    pub legit: Vec<NodeId>,
+    /// Known friend spammers, pinned to the suspect region.
+    pub spammer: Vec<NodeId>,
+}
+
+/// When to stop the iterative cut-and-prune loop (§IV-E).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Termination {
+    /// Stop once at least this many suspects have been detected — the
+    /// paper's evaluation protocol, where the OSN has estimated the number
+    /// of fakes by inspecting sampled accounts.
+    SuspectBudget(usize),
+    /// Stop as soon as the next group's aggregate acceptance rate exceeds
+    /// the threshold (e.g., an estimate of the normal-user acceptance
+    /// rate); the offending group is *not* included.
+    AcceptanceThreshold(f64),
+    /// Stop on whichever of the two conditions fires first.
+    BudgetOrThreshold {
+        /// Suspect budget.
+        budget: usize,
+        /// Acceptance-rate threshold.
+        threshold: f64,
+    },
+}
+
+/// One spammer group cut off in one round of the iterative detection.
+#[derive(Debug, Clone)]
+pub struct DetectedGroup {
+    /// Members, in original-graph ids, ascending.
+    pub nodes: Vec<NodeId>,
+    /// Aggregate acceptance rate of the group's requests at detection time
+    /// (on the residual graph).
+    pub acceptance_rate: f64,
+    /// The sweep `k` that produced the winning cut.
+    pub k: f64,
+    /// 1-based round in which the group was found.
+    pub round: usize,
+}
+
+/// Output of [`IterativeDetector::detect`].
+#[derive(Debug, Clone, Default)]
+pub struct DetectionReport {
+    /// Detected groups in detection order. Because each round solves MAAR
+    /// on the residual graph, acceptance rates are non-decreasing: the
+    /// most blatant spammers surface first (§IV-E).
+    pub groups: Vec<DetectedGroup>,
+    /// Rounds executed (including a final round that found nothing).
+    pub rounds: usize,
+}
+
+impl DetectionReport {
+    /// Every detected suspect, in detection order (group by group).
+    pub fn suspects(&self) -> Vec<NodeId> {
+        self.groups.iter().flat_map(|g| g.nodes.iter().copied()).collect()
+    }
+
+    /// Total number of detected suspects.
+    pub fn num_suspects(&self) -> usize {
+        self.groups.iter().map(|g| g.nodes.len()).sum()
+    }
+
+    /// Exactly `n` suspects: whole groups in detection order, with the
+    /// final group trimmed by descending individual rejection ratio (ties
+    /// by id). This mirrors the evaluation protocol of declaring exactly
+    /// as many suspects as the estimated fake population, which makes
+    /// precision equal recall.
+    ///
+    /// Returns fewer than `n` if fewer were detected.
+    pub fn suspects_top(&self, n: usize, g: &AugmentedGraph) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(n);
+        for group in &self.groups {
+            let remaining = n.saturating_sub(out.len());
+            if remaining == 0 {
+                break;
+            }
+            if group.nodes.len() <= remaining {
+                out.extend(group.nodes.iter().copied());
+            } else {
+                let mut ranked = group.nodes.clone();
+                ranked.sort_by(|&a, &b| {
+                    let ra = g.rejection_ratio(a).unwrap_or(0.0);
+                    let rb = g.rejection_ratio(b).unwrap_or(0.0);
+                    rb.partial_cmp(&ra).expect("finite ratios").then(a.cmp(&b))
+                });
+                out.extend(ranked.into_iter().take(remaining));
+            }
+        }
+        out
+    }
+}
+
+/// The iterative MAAR-cut detector (§IV-E): repeatedly solve MAAR on the
+/// residual graph, record the suspect region as a spammer group, prune it
+/// with its links and rejections, and continue.
+#[derive(Debug, Clone)]
+pub struct IterativeDetector {
+    solver: MaarSolver,
+}
+
+impl IterativeDetector {
+    /// Creates a detector with the given configuration.
+    pub fn new(config: RejectoConfig) -> Self {
+        IterativeDetector { solver: MaarSolver::new(config) }
+    }
+
+    /// The underlying MAAR solver.
+    pub fn solver(&self) -> &MaarSolver {
+        &self.solver
+    }
+
+    /// Runs the full pipeline on `g` and returns the detected groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any seed id is out of range of `g`.
+    pub fn detect(&self, g: &AugmentedGraph, seeds: &Seeds, termination: Termination) -> DetectionReport {
+        let mut report = DetectionReport::default();
+        // Residual graph plus its mapping back to original ids.
+        let mut current = g.clone();
+        let mut to_original: Vec<NodeId> = g.nodes().collect();
+        let max_rounds = self.solver.config().max_rounds;
+
+        let budget = match termination {
+            Termination::SuspectBudget(b) => Some(b),
+            Termination::AcceptanceThreshold(_) => None,
+            Termination::BudgetOrThreshold { budget, .. } => Some(budget),
+        };
+        let threshold = match termination {
+            Termination::SuspectBudget(_) => None,
+            Termination::AcceptanceThreshold(t) => Some(t),
+            Termination::BudgetOrThreshold { threshold, .. } => Some(threshold),
+        };
+
+        while report.rounds < max_rounds {
+            report.rounds += 1;
+            if let Some(b) = budget {
+                if report.num_suspects() >= b {
+                    break;
+                }
+            }
+
+            // Map seeds into residual-graph ids (pruned seeds drop out —
+            // a detected spammer seed has done its job).
+            let mut current_index = vec![u32::MAX; g.num_nodes()];
+            for (i, &orig) in to_original.iter().enumerate() {
+                current_index[orig.index()] = i as u32;
+            }
+            let map = |ids: &[NodeId]| -> Vec<NodeId> {
+                ids.iter()
+                    .filter_map(|s| {
+                        let m = current_index[s.index()];
+                        (m != u32::MAX).then_some(NodeId(m))
+                    })
+                    .collect()
+            };
+            let legit = map(&seeds.legit);
+            let spammer = map(&seeds.spammer);
+
+            let Some(cut) = self.solver.solve(&current, &legit, &spammer) else {
+                break;
+            };
+            if let Some(t) = threshold {
+                if cut.acceptance_rate > t {
+                    break;
+                }
+            }
+
+            let local = cut.suspects();
+            let mut nodes: Vec<NodeId> =
+                local.iter().map(|u| to_original[u.index()]).collect();
+            nodes.sort_unstable();
+            report.groups.push(DetectedGroup {
+                nodes,
+                acceptance_rate: cut.acceptance_rate,
+                k: cut.k.value(),
+                round: report.rounds,
+            });
+
+            // Prune the group with its links and rejections.
+            let mut keep = vec![true; current.num_nodes()];
+            for u in &local {
+                keep[u.index()] = false;
+            }
+            let (next, original_of_next) = current.induced_subgraph(&keep);
+            to_original = original_of_next.iter().map(|u| to_original[u.index()]).collect();
+            current = next;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rejection::AugmentedGraphBuilder;
+
+    /// Legit clique (0–3); fake group A (4–5) heavily rejected by legit;
+    /// fake group B (6–7) whitewashed: B rejected A's requests and receives
+    /// only mild legit rejections.
+    fn self_rejection_scenario() -> AugmentedGraph {
+        let mut b = AugmentedGraphBuilder::new(8);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_friendship(NodeId(u), NodeId(v));
+            }
+        }
+        b.add_friendship(NodeId(4), NodeId(5));
+        b.add_friendship(NodeId(6), NodeId(7));
+        b.add_friendship(NodeId(0), NodeId(4)); // attack edges
+        b.add_friendship(NodeId(1), NodeId(6));
+        // Legit reject A hard:
+        for (r, s) in [(0, 5), (1, 4), (1, 5), (2, 4), (2, 5), (3, 4), (3, 5)] {
+            b.add_rejection(NodeId(r), NodeId(s));
+        }
+        // Self-rejection: B rejects A's requests en masse (crafted cut).
+        for (r, s) in [(6, 4), (6, 5), (7, 4), (7, 5)] {
+            b.add_rejection(NodeId(r), NodeId(s));
+        }
+        // Legit reject B mildly:
+        b.add_rejection(NodeId(2), NodeId(6));
+        b.add_rejection(NodeId(3), NodeId(7));
+        b.add_rejection(NodeId(0), NodeId(7));
+        b.build()
+    }
+
+    #[test]
+    fn iterative_pruning_defeats_self_rejection() {
+        let g = self_rejection_scenario();
+        let det = IterativeDetector::new(RejectoConfig::default());
+        let report = det.detect(&g, &Seeds::default(), Termination::SuspectBudget(4));
+        let mut suspects = report.suspects();
+        suspects.sort_unstable();
+        assert_eq!(suspects, vec![NodeId(4), NodeId(5), NodeId(6), NodeId(7)]);
+        // The rejected group A must fall before the whitewashed group B.
+        assert!(report.groups.len() >= 2, "expected multiple rounds");
+        assert!(report.groups[0].nodes.contains(&NodeId(4)));
+        assert!(report.groups[0].nodes.contains(&NodeId(5)));
+    }
+
+    #[test]
+    fn acceptance_rates_are_non_decreasing_across_rounds() {
+        let g = self_rejection_scenario();
+        let det = IterativeDetector::new(RejectoConfig::default());
+        let report = det.detect(&g, &Seeds::default(), Termination::SuspectBudget(8));
+        for w in report.groups.windows(2) {
+            assert!(
+                w[0].acceptance_rate <= w[1].acceptance_rate + 1e-9,
+                "rates regressed: {} then {}",
+                w[0].acceptance_rate,
+                w[1].acceptance_rate
+            );
+        }
+    }
+
+    #[test]
+    fn budget_stops_detection() {
+        let g = self_rejection_scenario();
+        let det = IterativeDetector::new(RejectoConfig::default());
+        let report = det.detect(&g, &Seeds::default(), Termination::SuspectBudget(2));
+        assert!(report.num_suspects() >= 2);
+        assert!(report.groups.len() <= 2);
+    }
+
+    #[test]
+    fn threshold_excludes_high_acceptance_groups() {
+        let g = self_rejection_scenario();
+        let det = IterativeDetector::new(RejectoConfig::default());
+        // Group A's rate is 1/8; a threshold below B's rate keeps only A.
+        let report =
+            det.detect(&g, &Seeds::default(), Termination::AcceptanceThreshold(0.2));
+        for group in &report.groups {
+            assert!(group.acceptance_rate <= 0.2);
+        }
+        assert!(!report.suspects().is_empty());
+    }
+
+    #[test]
+    fn suspects_top_trims_last_group_by_rejection_ratio() {
+        let g = self_rejection_scenario();
+        let det = IterativeDetector::new(RejectoConfig::default());
+        let report = det.detect(&g, &Seeds::default(), Termination::SuspectBudget(8));
+        let top3 = report.suspects_top(3, &g);
+        assert_eq!(top3.len(), 3);
+        // All of group A (4, 5) must be present before any trimming of B.
+        assert!(top3.contains(&NodeId(4)));
+        assert!(top3.contains(&NodeId(5)));
+    }
+
+    #[test]
+    fn clean_graph_detects_nothing() {
+        let mut b = AugmentedGraphBuilder::new(4);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_friendship(NodeId(u), NodeId(v));
+            }
+        }
+        let g = b.build();
+        let det = IterativeDetector::new(RejectoConfig::default());
+        let report = det.detect(&g, &Seeds::default(), Termination::SuspectBudget(2));
+        assert_eq!(report.num_suspects(), 0);
+    }
+
+    #[test]
+    fn spammer_seed_guides_detection() {
+        let g = self_rejection_scenario();
+        let det = IterativeDetector::new(RejectoConfig::default());
+        let seeds = Seeds { legit: vec![NodeId(0), NodeId(1)], spammer: vec![NodeId(6)] };
+        let report = det.detect(&g, &seeds, Termination::SuspectBudget(4));
+        let suspects = report.suspects();
+        assert!(suspects.contains(&NodeId(6)));
+        assert!(!suspects.contains(&NodeId(0)));
+        assert!(!suspects.contains(&NodeId(1)));
+    }
+}

@@ -1,0 +1,45 @@
+//! Rejecto: friend-spam detection via minimum aggregate acceptance rate
+//! cuts (the paper's core contribution, §IV).
+//!
+//! The pipeline:
+//!
+//! 1. **MAAR solving** ([`MaarSolver`]): Theorem 1 reduces the ratio
+//!    objective `min AC⟨U,Ū⟩` to a family of linear objectives
+//!    `|F(Ū,U)| − k·|R⟨Ū,U⟩|`; the solver sweeps `k` through a geometric
+//!    sequence, solves each member with the extended Kernighan–Lin
+//!    heuristic, and keeps the cut with the lowest aggregate acceptance
+//!    rate.
+//! 2. **Iterative detection** ([`IterativeDetector`], §IV-E): find a MAAR
+//!    cut, declare its suspect region a spammer group, prune the group with
+//!    its links and rejections, repeat. This defeats the *self-rejection*
+//!    whitewashing strategy — a crafted low-ratio cut inside the fake
+//!    region only gets its rejected half detected (and removed) earlier —
+//!    and catches multiple independent fake groups.
+//! 3. **Seeds** ([`Seeds`], §IV-F): known legitimate users and known
+//!    spammers are pre-placed in their regions and never switched, pruning
+//!    spurious low-ratio cuts inside the legitimate region.
+//!
+//! ```
+//! use rejecto_core::{IterativeDetector, RejectoConfig, Termination};
+//! use rejection::{AugmentedGraphBuilder, NodeId};
+//!
+//! // Two legit friends; one spammer rejected by both.
+//! let mut b = AugmentedGraphBuilder::new(3);
+//! b.add_friendship(NodeId(0), NodeId(1));
+//! b.add_rejection(NodeId(0), NodeId(2));
+//! b.add_rejection(NodeId(1), NodeId(2));
+//! let g = b.build();
+//!
+//! let det = IterativeDetector::new(RejectoConfig::default());
+//! let report = det.detect(&g, &Default::default(), Termination::SuspectBudget(1));
+//! assert_eq!(report.suspects(), vec![NodeId(2)]);
+//! ```
+
+mod config;
+mod detect;
+pub mod exact;
+mod maar;
+
+pub use config::{InitialPlacement, RejectoConfig};
+pub use detect::{DetectedGroup, DetectionReport, IterativeDetector, Seeds, Termination};
+pub use maar::{MaarCut, MaarSolver};

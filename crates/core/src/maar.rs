@@ -1,0 +1,218 @@
+use crate::{InitialPlacement, RejectoConfig};
+use kl::{ExtendedKl, ExtendedKlConfig, KParam};
+use rejection::{AugmentedGraph, NodeId, Partition, Region};
+
+/// A minimum-aggregate-acceptance-rate cut found by [`MaarSolver`].
+#[derive(Debug, Clone)]
+pub struct MaarCut {
+    /// The partition; its suspect region is the detected group.
+    pub partition: Partition,
+    /// `AC⟨U,Ū⟩` of the cut.
+    pub acceptance_rate: f64,
+    /// The sweep value of `k` that produced the winning cut.
+    pub k: KParam,
+}
+
+impl MaarCut {
+    /// The detected suspect group, ascending by node id.
+    pub fn suspects(&self) -> Vec<NodeId> {
+        self.partition.suspects()
+    }
+}
+
+/// Solves the MAAR problem on one augmented graph by sweeping `k` over a
+/// geometric sequence and keeping the extended-KL cut with the lowest
+/// aggregate acceptance rate (§IV-D, Theorem 1).
+#[derive(Debug, Clone)]
+pub struct MaarSolver {
+    config: RejectoConfig,
+}
+
+impl MaarSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: RejectoConfig) -> Self {
+        MaarSolver { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RejectoConfig {
+        &self.config
+    }
+
+    /// Finds the best cut on `g`. `legit_seeds` are pinned to the
+    /// legitimate region and `spammer_seeds` to the suspect region for the
+    /// whole search (§IV-F). Returns `None` when no non-degenerate cut
+    /// exists (i.e., every candidate leaves the suspect region empty or
+    /// cuts no requests at all).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any seed id is out of range.
+    pub fn solve(
+        &self,
+        g: &AugmentedGraph,
+        legit_seeds: &[NodeId],
+        spammer_seeds: &[NodeId],
+    ) -> Option<MaarCut> {
+        let first = self.sweep(g, legit_seeds, spammer_seeds, self.config.initial_placement);
+        if first.is_some() || self.config.initial_placement == InitialPlacement::AllLegit {
+            return first;
+        }
+        // The warm start can steer every k toward a cut larger than the
+        // admissible suspect region (KL optimizes unconstrained); fall back
+        // to the all-legit start, whose best-prefix mechanism grows cuts
+        // incrementally and stays small when small cuts suffice.
+        self.sweep(g, legit_seeds, spammer_seeds, InitialPlacement::AllLegit)
+    }
+
+    fn sweep(
+        &self,
+        g: &AugmentedGraph,
+        legit_seeds: &[NodeId],
+        spammer_seeds: &[NodeId],
+        placement: InitialPlacement,
+    ) -> Option<MaarCut> {
+        let mut best: Option<MaarCut> = None;
+        let cap = (self.config.max_suspect_fraction * g.num_nodes() as f64).floor() as usize;
+        for k in self.config.k_sweep() {
+            let mut kl = ExtendedKl::new(
+                g,
+                ExtendedKlConfig { k, max_passes: self.config.max_kl_passes },
+            );
+            for &s in legit_seeds.iter().chain(spammer_seeds) {
+                kl.lock(s);
+            }
+            let init = self.initial_partition(g, legit_seeds, spammer_seeds, placement);
+            let out = kl.run(init);
+            let p = out.partition;
+            if p.suspect_count() == 0 || p.suspect_count() > cap {
+                continue;
+            }
+            let Some(ac) = p.acceptance_rate() else { continue };
+            let better = match &best {
+                None => true,
+                Some(b) => ac < b.acceptance_rate,
+            };
+            if better {
+                best = Some(MaarCut { partition: p, acceptance_rate: ac, k });
+            }
+        }
+        best
+    }
+
+    fn initial_partition(
+        &self,
+        g: &AugmentedGraph,
+        legit_seeds: &[NodeId],
+        spammer_seeds: &[NodeId],
+        placement: InitialPlacement,
+    ) -> Partition {
+        let cap = (self.config.max_suspect_fraction * g.num_nodes() as f64).floor() as usize;
+        let mut region = match placement {
+            InitialPlacement::AllLegit => vec![Region::Legit; g.num_nodes()],
+            InitialPlacement::RejectionRatio(threshold) => {
+                // Candidates above the threshold, capped at the admissible
+                // suspect-region size (highest ratios first) so the warm
+                // start never starts outside the feasible family.
+                let mut candidates: Vec<(f64, NodeId)> = g
+                    .nodes()
+                    .filter_map(|u| {
+                        g.rejection_ratio(u)
+                            .filter(|&r| r >= threshold)
+                            .map(|r| (r, u))
+                    })
+                    .collect();
+                candidates.sort_by(|a, b| {
+                    b.0.partial_cmp(&a.0).expect("finite ratios").then(a.1.cmp(&b.1))
+                });
+                let mut region = vec![Region::Legit; g.num_nodes()];
+                for (_, u) in candidates.into_iter().take(cap) {
+                    region[u.index()] = Region::Suspect;
+                }
+                region
+            }
+        };
+        for &s in legit_seeds {
+            region[s.index()] = Region::Legit;
+        }
+        for &s in spammer_seeds {
+            region[s.index()] = Region::Suspect;
+        }
+        Partition::from_regions(g, region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rejection::AugmentedGraphBuilder;
+
+    /// 5 legit users in a ring; 3 fakes in a triangle; 2 attack edges;
+    /// heavy rejections toward the fakes.
+    fn scenario() -> AugmentedGraph {
+        let mut b = AugmentedGraphBuilder::new(8);
+        for i in 0..5u32 {
+            b.add_friendship(NodeId(i), NodeId((i + 1) % 5));
+        }
+        b.add_friendship(NodeId(5), NodeId(6));
+        b.add_friendship(NodeId(6), NodeId(7));
+        b.add_friendship(NodeId(5), NodeId(7));
+        b.add_friendship(NodeId(0), NodeId(5)); // attack edges
+        b.add_friendship(NodeId(1), NodeId(6));
+        for (r, s) in [(0, 6), (1, 5), (2, 5), (2, 7), (3, 6), (3, 7), (4, 5), (4, 7)] {
+            b.add_rejection(NodeId(r), NodeId(s));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn finds_the_fake_triangle() {
+        let g = scenario();
+        let cut = MaarSolver::new(RejectoConfig::default()).solve(&g, &[], &[]).unwrap();
+        assert_eq!(cut.suspects(), vec![NodeId(5), NodeId(6), NodeId(7)]);
+        // 2 attack friendships, 8 rejections → AC = 2/10.
+        assert!((cut.acceptance_rate - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_legit_initialization_agrees() {
+        let g = scenario();
+        let config = RejectoConfig {
+            initial_placement: InitialPlacement::AllLegit,
+            ..RejectoConfig::default()
+        };
+        let cut = MaarSolver::new(config).solve(&g, &[], &[]).unwrap();
+        assert_eq!(cut.suspects(), vec![NodeId(5), NodeId(6), NodeId(7)]);
+    }
+
+    #[test]
+    fn no_rejections_means_no_cut() {
+        let mut b = AugmentedGraphBuilder::new(4);
+        b.add_friendship(NodeId(0), NodeId(1));
+        b.add_friendship(NodeId(2), NodeId(3));
+        let g = b.build();
+        assert!(MaarSolver::new(RejectoConfig::default()).solve(&g, &[], &[]).is_none());
+    }
+
+    #[test]
+    fn legit_seed_pin_overrides_warm_start() {
+        let g = scenario();
+        // Deliberately bad warm start marks node 0 suspect via seeds:
+        // a legit seed on node 0 must keep it out of any detected group.
+        let cut = MaarSolver::new(RejectoConfig::default())
+            .solve(&g, &[NodeId(0)], &[NodeId(5)])
+            .unwrap();
+        assert!(!cut.suspects().contains(&NodeId(0)));
+        assert!(cut.suspects().contains(&NodeId(5)));
+    }
+
+    #[test]
+    fn reports_the_winning_k() {
+        let g = scenario();
+        let cut = MaarSolver::new(RejectoConfig::default()).solve(&g, &[], &[]).unwrap();
+        // The winning cut's friends-to-rejections ratio is 2/8 = 0.25.
+        // The winning k need not equal it, but must be a sweep member.
+        let sweep = RejectoConfig::default().k_sweep();
+        assert!(sweep.contains(&cut.k));
+    }
+}

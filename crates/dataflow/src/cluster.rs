@@ -1,0 +1,939 @@
+//! The master/worker deployment of Rejecto (§V).
+//!
+//! Long-lived worker threads hold contiguous shards of the augmented
+//! graph's adjacency; the master holds node status, gains, and the bucket
+//! list, and pulls node neighborhoods through a prefetching LRU buffer.
+//! Every master↔worker exchange is counted in [`IoStats`], so the Table-II
+//! harness can report both wall time and simulated network traffic.
+
+use crate::LruCache;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use kl::{BucketList, KParam};
+use rejection::{AugmentedGraph, NodeId};
+use rejecto_core::{InitialPlacement, RejectoConfig};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const LEGIT: u8 = 0;
+const SUSPECT: u8 = 1;
+
+/// Per-node adjacency shipped from a worker to the master.
+#[derive(Debug, Clone, Default)]
+struct NodeData {
+    friends: Vec<u32>,
+    /// Users whose requests this node rejected.
+    rejected_by: Vec<u32>,
+    /// Users who rejected this node's requests.
+    rejectors_of: Vec<u32>,
+}
+
+/// Cluster sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Worker threads (graph shards).
+    pub num_workers: usize,
+    /// Nodes fetched per prefetch batch (top of the bucket list).
+    pub prefetch_batch: usize,
+    /// Capacity of the master's LRU prefetch buffer, in nodes.
+    pub buffer_capacity: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { num_workers: 4, prefetch_batch: 256, buffer_capacity: 1 << 16 }
+    }
+}
+
+/// Simulated master↔worker traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Fetch round trips (one request fan-out counts once).
+    pub fetch_batches: u64,
+    /// Node neighborhoods shipped to the master.
+    pub nodes_fetched: u64,
+    /// Adjacency lookups served from the prefetch buffer.
+    pub buffer_hits: u64,
+    /// Adjacency lookups that had to trigger a fetch.
+    pub buffer_misses: u64,
+    /// Parallel gain/stat initialization jobs dispatched.
+    pub init_jobs: u64,
+    /// Workers respawned from lineage after a failure (§V: Spark's
+    /// "automated fault tolerance").
+    pub worker_restarts: u64,
+}
+
+enum Request {
+    /// Ship the adjacency of these owned nodes.
+    Fetch(Vec<u32>),
+    /// Compute initial switching gains for the owned range under the given
+    /// region assignment and rational `k = num/den`.
+    InitGains { regions: Arc<Vec<u8>>, num: i64, den: i64 },
+    /// Compute `(friend_degree, rejections_received)` for the owned range.
+    Stats,
+    /// Count cross-cut friendships and rejections for the owned range.
+    CutCounts { regions: Arc<Vec<u8>> },
+    Shutdown,
+}
+
+enum Response {
+    Nodes(Vec<(u32, NodeData)>),
+    /// Gains for the owned range, in id order.
+    Gains(Vec<i64>),
+    /// `(friend_degree, rejections_received)` for the owned range.
+    Stats(Vec<(u32, u32)>),
+    /// `(cross_friendships_counted_once, cross_rejections)`.
+    CutCounts(u64, u64),
+}
+
+struct Worker {
+    tx: Sender<Request>,
+    rx: Receiver<Response>,
+    handle: Option<JoinHandle<()>>,
+    range: (u32, u32),
+}
+
+/// A running worker pool holding the sharded augmented graph.
+///
+/// The cluster keeps the source graph as its **lineage** (the RDD model):
+/// when a worker dies mid-query, the master detects the broken channel,
+/// respawns the shard from the lineage, replays the in-flight request,
+/// and counts the event in [`IoStats::worker_restarts`]. Failures are
+/// therefore invisible to the algorithm — the §V property inherited from
+/// Spark's fault tolerance.
+pub struct Cluster {
+    graph: std::sync::Arc<AugmentedGraph>,
+    workers: std::cell::RefCell<Vec<Worker>>,
+    restarts: std::cell::Cell<u64>,
+    num_nodes: usize,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("num_workers", &self.workers.borrow().len())
+            .field("num_nodes", &self.num_nodes)
+            .field("restarts", &self.restarts.get())
+            .finish()
+    }
+}
+
+struct Shard {
+    base: u32,
+    nodes: Vec<NodeData>,
+}
+
+impl Shard {
+    fn data(&self, id: u32) -> &NodeData {
+        &self.nodes[(id - self.base) as usize]
+    }
+
+    fn serve(self, rx: Receiver<Request>, tx: Sender<Response>) {
+        while let Ok(req) = rx.recv() {
+            match req {
+                Request::Shutdown => break,
+                Request::Fetch(ids) => {
+                    let out =
+                        ids.into_iter().map(|id| (id, self.data(id).clone())).collect();
+                    let _ = tx.send(Response::Nodes(out));
+                }
+                Request::Stats => {
+                    let out = self
+                        .nodes
+                        .iter()
+                        .map(|n| (n.friends.len() as u32, n.rejectors_of.len() as u32))
+                        .collect();
+                    let _ = tx.send(Response::Stats(out));
+                }
+                Request::CutCounts { regions } => {
+                    let mut cf = 0u64;
+                    let mut cr = 0u64;
+                    for (i, n) in self.nodes.iter().enumerate() {
+                        let u = self.base + i as u32;
+                        let ru = regions[u as usize];
+                        for &v in &n.friends {
+                            if u < v && ru != regions[v as usize] {
+                                cf += 1;
+                            }
+                        }
+                        if ru == LEGIT {
+                            for &s in &n.rejected_by {
+                                if regions[s as usize] == SUSPECT {
+                                    cr += 1;
+                                }
+                            }
+                        }
+                    }
+                    let _ = tx.send(Response::CutCounts(cf, cr));
+                }
+                Request::InitGains { regions, num, den } => {
+                    let gains = self
+                        .nodes
+                        .iter()
+                        .enumerate()
+                        .map(|(i, n)| {
+                            let u = self.base + i as u32;
+                            let (df, dr) = switch_delta(n, u, &regions);
+                            num * dr - den * df
+                        })
+                        .collect();
+                    let _ = tx.send(Response::Gains(gains));
+                }
+            }
+        }
+    }
+}
+
+/// `(Δcross_friendships, Δcross_rejections)` if `u` switched regions —
+/// the same arithmetic as `rejection::Partition::switch_delta`, expressed
+/// over shipped [`NodeData`].
+fn switch_delta(n: &NodeData, u: u32, regions: &[u8]) -> (i64, i64) {
+    let from = regions[u as usize];
+    let mut df = 0i64;
+    for &v in &n.friends {
+        if regions[v as usize] == from {
+            df += 1;
+        } else {
+            df -= 1;
+        }
+    }
+    let mut dr = 0i64;
+    if from == LEGIT {
+        for &r in &n.rejectors_of {
+            if regions[r as usize] == LEGIT {
+                dr += 1;
+            }
+        }
+        for &s in &n.rejected_by {
+            if regions[s as usize] == SUSPECT {
+                dr -= 1;
+            }
+        }
+    } else {
+        for &r in &n.rejectors_of {
+            if regions[r as usize] == LEGIT {
+                dr -= 1;
+            }
+        }
+        for &s in &n.rejected_by {
+            if regions[s as usize] == SUSPECT {
+                dr += 1;
+            }
+        }
+    }
+    (df, dr)
+}
+
+fn spawn_worker(graph: &std::sync::Arc<AugmentedGraph>, lo: u32, hi: u32, wi: usize) -> Worker {
+    let (req_tx, req_rx) = unbounded::<Request>();
+    let (resp_tx, resp_rx) = unbounded::<Response>();
+    let lineage = std::sync::Arc::clone(graph);
+    let handle = std::thread::Builder::new()
+        .name(format!("rejecto-worker-{wi}"))
+        .spawn(move || {
+            // The shard is (re)built from the lineage inside the worker.
+            let nodes: Vec<NodeData> = (lo..hi)
+                .map(|id| {
+                    let id = NodeId(id);
+                    NodeData {
+                        friends: lineage.friends(id).iter().map(|v| v.0).collect(),
+                        rejected_by: lineage.rejected_by(id).iter().map(|v| v.0).collect(),
+                        rejectors_of: lineage.rejectors_of(id).iter().map(|v| v.0).collect(),
+                    }
+                })
+                .collect();
+            Shard { base: lo, nodes }.serve(req_rx, resp_tx)
+        })
+        .expect("failed to spawn worker thread");
+    Worker { tx: req_tx, rx: resp_rx, handle: Some(handle), range: (lo, hi) }
+}
+
+impl Cluster {
+    /// Shards `g` across `config.num_workers` worker threads. The graph is
+    /// retained on the master as the recovery lineage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_workers == 0`.
+    pub fn new(g: &AugmentedGraph, config: &ClusterConfig) -> Self {
+        Cluster::from_arc(std::sync::Arc::new(g.clone()), config)
+    }
+
+    /// Shards an already-shared graph (avoids the clone in
+    /// [`Cluster::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_workers == 0`.
+    pub fn from_arc(graph: std::sync::Arc<AugmentedGraph>, config: &ClusterConfig) -> Self {
+        assert!(config.num_workers > 0, "need at least one worker");
+        let n = graph.num_nodes();
+        let w = config.num_workers.min(n.max(1));
+        let chunk = n.div_ceil(w);
+        let workers = (0..w)
+            .map(|wi| {
+                let lo = (wi * chunk).min(n) as u32;
+                let hi = ((wi + 1) * chunk).min(n) as u32;
+                spawn_worker(&graph, lo, hi, wi)
+            })
+            .collect();
+        Cluster {
+            graph,
+            workers: std::cell::RefCell::new(workers),
+            restarts: std::cell::Cell::new(0),
+            num_nodes: n,
+        }
+    }
+
+    /// Number of users the cluster holds.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of worker shards.
+    pub fn num_workers(&self) -> usize {
+        self.workers.borrow().len()
+    }
+
+    /// Total workers respawned from lineage so far.
+    pub fn worker_restarts(&self) -> u64 {
+        self.restarts.get()
+    }
+
+    /// Kills worker `wi` (test hook simulating a crash). The next request
+    /// routed to it triggers a lineage respawn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wi` is out of range.
+    pub fn fail_worker(&self, wi: usize) {
+        let mut workers = self.workers.borrow_mut();
+        let w = &mut workers[wi];
+        let _ = w.tx.send(Request::Shutdown);
+        if let Some(h) = w.handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn owner(&self, id: u32) -> usize {
+        // Ranges are equal-sized except the last; binary search is robust
+        // to the final short shard.
+        let workers = self.workers.borrow();
+        workers
+            .partition_point(|w| w.range.1 <= id)
+            .min(workers.len() - 1)
+    }
+
+    fn respawn(&self, wi: usize) {
+        let mut workers = self.workers.borrow_mut();
+        let (lo, hi) = workers[wi].range;
+        if let Some(h) = workers[wi].handle.take() {
+            let _ = h.join();
+        }
+        workers[wi] = spawn_worker(&self.graph, lo, hi, wi);
+        self.restarts.set(self.restarts.get() + 1);
+    }
+
+    /// Sends `req` to worker `wi` and awaits the response, recovering a
+    /// dead worker from lineage (retry once).
+    fn call(&self, wi: usize, make_req: &dyn Fn() -> Request, io: &mut IoStats) -> Response {
+        for attempt in 0..2 {
+            let result = {
+                let workers = self.workers.borrow();
+                let w = &workers[wi];
+                match w.tx.send(make_req()) {
+                    Err(_) => Err(()),
+                    Ok(()) => w.rx.recv().map_err(|_| ()),
+                }
+            };
+            match result {
+                Ok(resp) => return resp,
+                Err(()) => {
+                    assert!(attempt == 0, "worker {wi} failed twice in a row");
+                    self.respawn(wi);
+                    io.worker_restarts += 1;
+                }
+            }
+        }
+        unreachable!("retry loop returns or panics")
+    }
+
+    /// Broadcasts a request to every worker and collects responses in
+    /// worker order, recovering failed workers from lineage.
+    fn broadcast(
+        &self,
+        make_req: &dyn Fn() -> Request,
+        io: &mut IoStats,
+    ) -> Vec<((u32, u32), Response)> {
+        let num = self.num_workers();
+        // Optimistic fan-out: send to all, then collect; failures fall
+        // back to the recovering per-worker call.
+        let sent: Vec<bool> = {
+            let workers = self.workers.borrow();
+            workers.iter().map(|w| w.tx.send(make_req()).is_ok()).collect()
+        };
+        let mut out = Vec::with_capacity(num);
+        for wi in 0..num {
+            let range = self.workers.borrow()[wi].range;
+            let resp = if sent[wi] {
+                let received = {
+                    let workers = self.workers.borrow();
+                    workers[wi].rx.recv()
+                };
+                match received {
+                    Ok(r) => r,
+                    Err(_) => {
+                        self.respawn(wi);
+                        io.worker_restarts += 1;
+                        self.call(wi, make_req, io)
+                    }
+                }
+            } else {
+                self.respawn(wi);
+                io.worker_restarts += 1;
+                self.call(wi, make_req, io)
+            };
+            out.push((range, resp));
+        }
+        out
+    }
+
+    /// Fetches adjacency for `ids` (grouped by owner; one fan-out counts as
+    /// one batch in the stats).
+    fn fetch(&self, ids: &[u32], io: &mut IoStats) -> Vec<(u32, NodeData)> {
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        let mut per_worker: Vec<Vec<u32>> = vec![Vec::new(); self.num_workers()];
+        for &id in ids {
+            per_worker[self.owner(id)].push(id);
+        }
+        io.fetch_batches += 1;
+        io.nodes_fetched += ids.len() as u64;
+        let mut out = Vec::with_capacity(ids.len());
+        for (wi, batch) in per_worker.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            match self.call(wi, &|| Request::Fetch(batch.clone()), io) {
+                Response::Nodes(nodes) => out.extend(nodes),
+                _ => unreachable!("protocol violation"),
+            }
+        }
+        out
+    }
+
+    /// Parallel per-node `(friend_degree, rejections_received)`.
+    fn stats(&self, io: &mut IoStats) -> Vec<(u32, u32)> {
+        io.init_jobs += 1;
+        let mut out = vec![(0u32, 0u32); self.num_nodes];
+        for (range, resp) in self.broadcast(&|| Request::Stats, io) {
+            match resp {
+                Response::Stats(s) => {
+                    for (i, v) in s.into_iter().enumerate() {
+                        out[range.0 as usize + i] = v;
+                    }
+                }
+                _ => unreachable!("protocol violation"),
+            }
+        }
+        out
+    }
+
+    /// Parallel initial gains for all nodes under `regions`.
+    fn init_gains(&self, regions: &Arc<Vec<u8>>, k: KParam, io: &mut IoStats) -> Vec<i64> {
+        io.init_jobs += 1;
+        let mut out = vec![0i64; self.num_nodes];
+        let make = || Request::InitGains {
+            regions: Arc::clone(regions),
+            num: k.num() as i64,
+            den: k.den() as i64,
+        };
+        for (range, resp) in self.broadcast(&make, io) {
+            match resp {
+                Response::Gains(g) => {
+                    for (i, v) in g.into_iter().enumerate() {
+                        out[range.0 as usize + i] = v;
+                    }
+                }
+                _ => unreachable!("protocol violation"),
+            }
+        }
+        out
+    }
+
+    /// Parallel cross-cut counts under `regions`.
+    fn cut_counts(&self, regions: &Arc<Vec<u8>>, io: &mut IoStats) -> (u64, u64) {
+        io.init_jobs += 1;
+        let mut cf = 0u64;
+        let mut cr = 0u64;
+        let make = || Request::CutCounts { regions: Arc::clone(regions) };
+        for (_, resp) in self.broadcast(&make, io) {
+            match resp {
+                Response::CutCounts(f, r) => {
+                    cf += f;
+                    cr += r;
+                }
+                _ => unreachable!("protocol violation"),
+            }
+        }
+        (cf, cr)
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        let mut workers = self.workers.borrow_mut();
+        for w in workers.iter() {
+            let _ = w.tx.send(Request::Shutdown);
+        }
+        for w in workers.iter_mut() {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Result of a distributed MAAR solve.
+#[derive(Debug, Clone)]
+pub struct DistributedOutcome {
+    /// The suspect region of the winning cut, ascending.
+    pub suspects: Vec<NodeId>,
+    /// Aggregate acceptance rate of the winning cut (`None` if no
+    /// non-degenerate cut was found).
+    pub acceptance_rate: Option<f64>,
+    /// The winning sweep `k`.
+    pub k: Option<f64>,
+    /// Simulated traffic counters.
+    pub io: IoStats,
+    /// Wall-clock time of the solve.
+    pub elapsed: Duration,
+}
+
+/// Distributed MAAR solver: the same geometric-`k` sweep of extended KL as
+/// `rejecto_core::MaarSolver`, executed against a [`Cluster`] with the §V
+/// data layout (status + bucket list on the master, adjacency on the
+/// workers, prefetch through an LRU buffer).
+#[derive(Debug, Clone)]
+pub struct DistributedMaar {
+    cluster_config: ClusterConfig,
+    rejecto: RejectoConfig,
+}
+
+impl DistributedMaar {
+    /// Creates a solver.
+    pub fn new(cluster_config: ClusterConfig, rejecto: RejectoConfig) -> Self {
+        DistributedMaar { cluster_config, rejecto }
+    }
+
+    /// Solves MAAR on `g` using a freshly spawned cluster.
+    pub fn solve(&self, g: &AugmentedGraph) -> DistributedOutcome {
+        let cluster = Cluster::new(g, &self.cluster_config);
+        self.solve_on(&cluster, g.num_nodes())
+    }
+
+    /// Solves MAAR against an existing cluster (graph already sharded).
+    pub fn solve_on(&self, cluster: &Cluster, num_nodes: usize) -> DistributedOutcome {
+        let out = self.solve_with_placement(cluster, num_nodes, self.rejecto.initial_placement);
+        if !out.suspects.is_empty()
+            || self.rejecto.initial_placement == InitialPlacement::AllLegit
+        {
+            return out;
+        }
+        // Same fallback as the single-process solver: if the warm start
+        // steered every k past the admissible cut size, retry all-legit.
+        let mut retry = self.solve_with_placement(cluster, num_nodes, InitialPlacement::AllLegit);
+        retry.io.fetch_batches += out.io.fetch_batches;
+        retry.io.nodes_fetched += out.io.nodes_fetched;
+        retry.io.buffer_hits += out.io.buffer_hits;
+        retry.io.buffer_misses += out.io.buffer_misses;
+        retry.io.init_jobs += out.io.init_jobs;
+        retry.elapsed += out.elapsed;
+        retry
+    }
+
+    fn solve_with_placement(
+        &self,
+        cluster: &Cluster,
+        num_nodes: usize,
+        placement: InitialPlacement,
+    ) -> DistributedOutcome {
+        let start = Instant::now();
+        let mut io = IoStats::default();
+
+        // Warm start needs per-node (degree, rejections) — an RDD job. As
+        // in the single-process solver, the warm suspect set is capped at
+        // the admissible region size (highest rejection ratios first).
+        let stats = cluster.stats(&mut io);
+        let warm_cap =
+            (self.rejecto.max_suspect_fraction * num_nodes as f64).floor() as usize;
+        let warm: Vec<u8> = match placement {
+            InitialPlacement::AllLegit => vec![LEGIT; num_nodes],
+            InitialPlacement::RejectionRatio(t) => {
+                let mut candidates: Vec<(f64, usize)> = stats
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &(f, r))| {
+                        let total = f as f64 + r as f64;
+                        let ratio = if total > 0.0 { r as f64 / total } else { return None };
+                        (ratio >= t).then_some((ratio, i))
+                    })
+                    .collect();
+                candidates.sort_by(|a, b| {
+                    b.0.partial_cmp(&a.0).expect("finite ratios").then(a.1.cmp(&b.1))
+                });
+                let mut warm = vec![LEGIT; num_nodes];
+                for (_, i) in candidates.into_iter().take(warm_cap) {
+                    warm[i] = SUSPECT;
+                }
+                warm
+            }
+            #[allow(unreachable_patterns)]
+            _ => vec![LEGIT; num_nodes],
+        };
+        let gain_bound = {
+            let mut b = 1i64;
+            let max_num = (self.rejecto.k_max * self.rejecto.k_denominator as f64).ceil() as i64 + 1;
+            for &(f, r) in &stats {
+                // rejectors + rejectees both bounded by total incident
+                // rejections; use a safe overestimate.
+                b = b.max(
+                    self.rejecto.k_denominator as i64 * f as i64 + max_num * 2 * r as i64 + max_num,
+                );
+            }
+            b
+        };
+
+        let mut best: Option<(Vec<u8>, f64, KParam)> = None;
+        let cap = (self.rejecto.max_suspect_fraction * num_nodes as f64).floor() as usize;
+        // The buffer persists across the whole k sweep — the graph data it
+        // caches is k-independent ("we cache intermediate data sets and
+        // results in memory, reducing the cost of their future reuse").
+        let mut buffer: LruCache<NodeData> = LruCache::new(self.cluster_config.buffer_capacity);
+        for k in self.rejecto.k_sweep() {
+            let (regions, cf, cr) =
+                self.run_kl(cluster, num_nodes, &warm, k, gain_bound, &mut buffer, &mut io);
+            let suspects = regions.iter().filter(|&&r| r == SUSPECT).count();
+            if suspects == 0 || suspects > cap || cf + cr == 0 {
+                continue;
+            }
+            let ac = cf as f64 / (cf + cr) as f64;
+            if best.as_ref().is_none_or(|(_, b, _)| ac < *b) {
+                best = Some((regions, ac, k));
+            }
+        }
+
+        let elapsed = start.elapsed();
+        match best {
+            Some((regions, ac, k)) => DistributedOutcome {
+                suspects: regions
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &r)| r == SUSPECT)
+                    .map(|(i, _)| NodeId::from_index(i))
+                    .collect(),
+                acceptance_rate: Some(ac),
+                k: Some(k.value()),
+                io,
+                elapsed,
+            },
+            None => DistributedOutcome {
+                suspects: Vec::new(),
+                acceptance_rate: None,
+                k: None,
+                io,
+                elapsed,
+            },
+        }
+    }
+
+    /// One extended-KL optimization for a fixed `k` on the cluster.
+    /// Returns the final regions and cross-cut counts.
+    #[allow(clippy::too_many_arguments)]
+    fn run_kl(
+        &self,
+        cluster: &Cluster,
+        num_nodes: usize,
+        warm: &[u8],
+        k: KParam,
+        gain_bound: i64,
+        buffer: &mut LruCache<NodeData>,
+        io: &mut IoStats,
+    ) -> (Vec<u8>, u64, u64) {
+        let num = k.num() as i64;
+        let den = k.den() as i64;
+        let mut regions = Arc::new(warm.to_vec());
+        let (mut cf, mut cr) = cluster.cut_counts(&regions, io);
+
+        for _pass in 0..self.rejecto.max_kl_passes {
+            // Tentative state for this pass.
+            let mut tmp: Vec<u8> = regions.as_ref().clone();
+            let gains = cluster.init_gains(&regions, k, io);
+            let mut bucket = BucketList::new(num_nodes, -gain_bound, gain_bound);
+            for (i, &g) in gains.iter().enumerate() {
+                bucket.insert(i as u32, g);
+            }
+
+            let mut seq: Vec<(u32, i64, i64, i64)> = Vec::with_capacity(num_nodes);
+            while !bucket.is_empty() {
+                // Ensure the next pops are resident: prefetch top-gain ids.
+                let top = bucket.peek_top(self.cluster_config.prefetch_batch);
+                let missing: Vec<u32> =
+                    top.iter().copied().filter(|id| !buffer.contains(id)).collect();
+                if !missing.is_empty() {
+                    io.buffer_misses += missing.len() as u64;
+                    for (id, data) in cluster.fetch(&missing, io) {
+                        buffer.insert(id, data);
+                    }
+                }
+                for _ in 0..top.len() {
+                    let Some((u, gain)) = bucket.pop_max() else { break };
+                    if !buffer.contains(&u) {
+                        // Gain updates reorder the bucket between pops, so
+                        // the max can fall outside the prefetched set.
+                        io.buffer_misses += 1;
+                        let fetched = cluster.fetch(&[u], io);
+                        let d = fetched.into_iter().next().expect("owner must return node").1;
+                        buffer.insert(u, d);
+                    } else {
+                        io.buffer_hits += 1;
+                    }
+                    let data = buffer.get(&u).expect("just ensured present");
+                    let from = tmp[u as usize];
+                    let (df, dr) = switch_delta(data, u, &tmp);
+                    debug_assert_eq!(gain, num * dr - den * df, "stale distributed gain");
+                    tmp[u as usize] = 1 - from;
+                    let now_in = tmp[u as usize];
+                    seq.push((u, gain, df, dr));
+
+                    for &v in &data.friends {
+                        if bucket.contains(v) {
+                            let t = if tmp[v as usize] == from { 1 } else { -1 };
+                            bucket.adjust(v, 2 * den * t);
+                        }
+                    }
+                    for &v in &data.rejected_by {
+                        if bucket.contains(v) {
+                            let da = if now_in == LEGIT { 1 } else { -1 };
+                            let s_v = if tmp[v as usize] == LEGIT { 1 } else { -1 };
+                            bucket.adjust(v, num * s_v * da);
+                        }
+                    }
+                    for &v in &data.rejectors_of {
+                        if bucket.contains(v) {
+                            let db = if now_in == SUSPECT { 1 } else { -1 };
+                            let s_v = if tmp[v as usize] == LEGIT { 1 } else { -1 };
+                            bucket.adjust(v, -num * s_v * db);
+                        }
+                    }
+                }
+            }
+
+            // Best strictly positive prefix.
+            let mut best: Option<usize> = None;
+            let mut best_gain = 0i64;
+            let mut cum = 0i64;
+            for (i, &(_, gain, _, _)) in seq.iter().enumerate() {
+                cum += gain;
+                if cum > best_gain {
+                    best_gain = cum;
+                    best = Some(i);
+                }
+            }
+            let Some(end) = best else { break };
+            let mut committed: Vec<u8> = regions.as_ref().clone();
+            for &(u, _, df, dr) in &seq[..=end] {
+                committed[u as usize] = 1 - committed[u as usize];
+                cf = cf.checked_add_signed(df).expect("cut counter underflow");
+                cr = cr.checked_add_signed(dr).expect("cut counter underflow");
+            }
+            regions = Arc::new(committed);
+        }
+        (Arc::try_unwrap(regions).unwrap_or_else(|a| a.as_ref().clone()), cf, cr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use rejecto_core::MaarSolver;
+    use simulator::{Scenario, ScenarioConfig};
+    use socialgraph::generators::BarabasiAlbert;
+
+    fn sim_graph() -> AugmentedGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let host = BarabasiAlbert::new(300, 4).generate(&mut rng);
+        Scenario::new(ScenarioConfig {
+            num_fakes: 40,
+            requests_per_spammer: 12,
+            ..ScenarioConfig::default()
+        })
+        .run(&host, 11)
+        .graph
+    }
+
+    #[test]
+    fn cluster_shards_cover_all_nodes() {
+        let g = sim_graph();
+        let cluster = Cluster::new(&g, &ClusterConfig::default());
+        assert_eq!(cluster.num_nodes(), 340);
+        assert_eq!(cluster.num_workers(), 4);
+        let mut io = IoStats::default();
+        let stats = cluster.stats(&mut io);
+        for u in g.nodes() {
+            assert_eq!(stats[u.index()].0 as usize, g.friend_degree(u));
+            assert_eq!(stats[u.index()].1 as usize, g.rejections_received(u));
+        }
+    }
+
+    #[test]
+    fn fetch_returns_correct_adjacency() {
+        let g = sim_graph();
+        let cluster = Cluster::new(&g, &ClusterConfig::default());
+        let mut io = IoStats::default();
+        let ids = [0u32, 150, 339];
+        let fetched = cluster.fetch(&ids, &mut io);
+        assert_eq!(fetched.len(), 3);
+        for (id, data) in fetched {
+            let expect: Vec<u32> = g.friends(NodeId(id)).iter().map(|v| v.0).collect();
+            assert_eq!(data.friends, expect, "node {id}");
+        }
+        assert_eq!(io.fetch_batches, 1);
+        assert_eq!(io.nodes_fetched, 3);
+    }
+
+    #[test]
+    fn distributed_solve_matches_single_node_solver() {
+        let g = sim_graph();
+        let config = RejectoConfig::default();
+        let local = MaarSolver::new(config.clone()).solve(&g, &[], &[]).expect("local cut");
+        let dist = DistributedMaar::new(ClusterConfig::default(), config).solve(&g);
+        assert_eq!(dist.suspects, local.suspects(), "partitions diverged");
+        let ac = dist.acceptance_rate.expect("distributed cut");
+        assert!((ac - local.acceptance_rate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetching_served_most_lookups_from_buffer() {
+        let g = sim_graph();
+        let dist = DistributedMaar::new(ClusterConfig::default(), RejectoConfig::default());
+        let out = dist.solve(&g);
+        assert!(out.io.buffer_hits > 0);
+        // With batch prefetch, fetch round trips must be far fewer than
+        // node lookups.
+        assert!(
+            out.io.fetch_batches * 8 < out.io.buffer_hits + out.io.buffer_misses,
+            "batches {} vs lookups {}",
+            out.io.fetch_batches,
+            out.io.buffer_hits + out.io.buffer_misses
+        );
+    }
+
+    #[test]
+    fn tiny_buffer_forces_more_fetches_than_large_buffer() {
+        let g = sim_graph();
+        let rejecto = RejectoConfig::default();
+        let small = DistributedMaar::new(
+            ClusterConfig { buffer_capacity: 8, prefetch_batch: 4, ..Default::default() },
+            rejecto.clone(),
+        )
+        .solve(&g);
+        let large = DistributedMaar::new(ClusterConfig::default(), rejecto).solve(&g);
+        assert!(small.io.nodes_fetched > large.io.nodes_fetched);
+        assert_eq!(small.suspects, large.suspects, "buffering must not change the cut");
+    }
+
+    #[test]
+    fn single_worker_cluster_works() {
+        let g = sim_graph();
+        let dist = DistributedMaar::new(
+            ClusterConfig { num_workers: 1, ..Default::default() },
+            RejectoConfig::default(),
+        )
+        .solve(&g);
+        assert!(!dist.suspects.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use rejecto_core::{MaarSolver, RejectoConfig};
+    use simulator::{Scenario, ScenarioConfig};
+    use socialgraph::generators::BarabasiAlbert;
+
+    fn sim_graph() -> AugmentedGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let host = BarabasiAlbert::new(300, 4).generate(&mut rng);
+        Scenario::new(ScenarioConfig {
+            num_fakes: 40,
+            requests_per_spammer: 12,
+            ..ScenarioConfig::default()
+        })
+        .run(&host, 11)
+        .graph
+    }
+
+    #[test]
+    fn killed_worker_is_respawned_transparently() {
+        let g = sim_graph();
+        let cluster = Cluster::new(&g, &ClusterConfig::default());
+        let mut io = IoStats::default();
+        let before = cluster.stats(&mut io);
+        cluster.fail_worker(2);
+        let after = cluster.stats(&mut io);
+        assert_eq!(before, after, "stats must survive a worker crash");
+        assert_eq!(cluster.worker_restarts(), 1);
+        assert_eq!(io.worker_restarts, 1);
+    }
+
+    #[test]
+    fn fetch_recovers_from_mid_run_failure() {
+        let g = sim_graph();
+        let cluster = Cluster::new(&g, &ClusterConfig::default());
+        let mut io = IoStats::default();
+        cluster.fail_worker(0);
+        cluster.fail_worker(3);
+        let fetched = cluster.fetch(&[0, 170, 339], &mut io);
+        assert_eq!(fetched.len(), 3);
+        for (id, data) in fetched {
+            let expect: Vec<u32> = g.friends(NodeId(id)).iter().map(|v| v.0).collect();
+            assert_eq!(data.friends, expect, "node {id} after recovery");
+        }
+        assert!(cluster.worker_restarts() >= 1);
+    }
+
+    #[test]
+    fn solve_result_is_identical_after_worker_crash() {
+        let g = sim_graph();
+        let config = RejectoConfig::default();
+        let local = MaarSolver::new(config.clone()).solve(&g, &[], &[]).expect("cut");
+
+        let cluster = Cluster::new(&g, &ClusterConfig::default());
+        // Crash two workers before the solve even starts.
+        cluster.fail_worker(1);
+        cluster.fail_worker(2);
+        let dist = DistributedMaar::new(ClusterConfig::default(), config);
+        let out = dist.solve_on(&cluster, g.num_nodes());
+        assert_eq!(out.suspects, local.suspects(), "crash changed the cut");
+        assert!(out.io.worker_restarts >= 2);
+    }
+
+    #[test]
+    fn repeated_failures_of_same_worker_are_survivable() {
+        let g = sim_graph();
+        let cluster = Cluster::new(&g, &ClusterConfig::default());
+        let mut io = IoStats::default();
+        for _ in 0..3 {
+            cluster.fail_worker(1);
+            let s = cluster.stats(&mut io);
+            assert_eq!(s.len(), g.num_nodes());
+        }
+        assert_eq!(cluster.worker_restarts(), 3);
+    }
+}

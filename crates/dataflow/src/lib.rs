@@ -1,0 +1,30 @@
+//! In-memory distributed-dataflow substrate — the Spark substitute for the
+//! paper's §V prototype and Table-II scalability experiment.
+//!
+//! The paper layers Rejecto on Spark with a specific data layout:
+//!
+//! * the **master** keeps what must be touched on every move — node status
+//!   (region), potential switching gains, and the bucket list;
+//! * the **workers** hold the sharded social-graph structure (friend and
+//!   rejection adjacency) as resilient distributed datasets;
+//! * moving a node requires its adjacency, so the master **prefetches**
+//!   the top-gain nodes from the bucket list in batches into an LRU buffer,
+//!   turning per-move network round trips into one round trip per batch.
+//!
+//! This crate reproduces that architecture in-process:
+//!
+//! * [`Partitioned`] — a minimal RDD-like partitioned dataset with parallel
+//!   `map`/`filter`/`reduce` over a thread pool;
+//! * [`LruCache`] — the prefetch buffer with LRU eviction;
+//! * [`Cluster`] / [`DistributedMaar`] — long-lived worker threads holding
+//!   graph shards, a master running the extended-KL sweep against them, and
+//!   [`IoStats`] counting simulated master↔worker traffic. The Table-II
+//!   harness measures wall time against graph size on this runtime.
+
+mod cluster;
+mod lru;
+mod rdd;
+
+pub use cluster::{Cluster, ClusterConfig, DistributedMaar, DistributedOutcome, IoStats};
+pub use lru::LruCache;
+pub use rdd::Partitioned;

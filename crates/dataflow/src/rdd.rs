@@ -1,0 +1,176 @@
+//! A minimal RDD-like partitioned in-memory dataset.
+
+use std::num::NonZeroUsize;
+
+/// An immutable dataset split into partitions, with data-parallel
+/// operations executed on scoped threads (one per partition).
+///
+/// This is the "set of operations on RDDs" layer the paper uses to
+/// initialize the algorithm (computing initial cross-region counts and
+/// per-node gains) — reduced to what Rejecto needs: `map`, `filter`,
+/// `map_partitions`, `reduce`, and `collect`.
+///
+/// ```
+/// use dataflow::Partitioned;
+/// let data = Partitioned::from_vec((0..100).collect(), 4);
+/// let doubled = data.map(|x| x * 2);
+/// assert_eq!(doubled.reduce(0i32, |a, b| a + b, |a, b| a + b), 9900);
+/// assert_eq!(data.num_partitions(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioned<T> {
+    parts: Vec<Vec<T>>,
+}
+
+impl<T: Send + Sync> Partitioned<T> {
+    /// Splits `data` into `partitions` nearly equal chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions == 0`.
+    pub fn from_vec(data: Vec<T>, partitions: usize) -> Self {
+        let partitions = NonZeroUsize::new(partitions).expect("need at least one partition");
+        let n = data.len();
+        let p = partitions.get().min(n.max(1));
+        let chunk = n.div_ceil(p);
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(p);
+        let mut iter = data.into_iter();
+        for _ in 0..p {
+            parts.push(iter.by_ref().take(chunk).collect());
+        }
+        Partitioned { parts }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(Vec::is_empty)
+    }
+
+    /// Applies `f` to every element in parallel (one thread per partition).
+    pub fn map<U, F>(&self, f: F) -> Partitioned<U>
+    where
+        U: Send + Sync,
+        F: Fn(&T) -> U + Send + Sync,
+    {
+        self.map_partitions(|part| part.iter().map(&f).collect())
+    }
+
+    /// Keeps elements matching `pred`, in parallel.
+    pub fn filter<F>(&self, pred: F) -> Partitioned<T>
+    where
+        T: Clone,
+        F: Fn(&T) -> bool + Send + Sync,
+    {
+        self.map_partitions(|part| part.iter().filter(|x| pred(x)).cloned().collect())
+    }
+
+    /// Applies `f` to each whole partition in parallel.
+    pub fn map_partitions<U, F>(&self, f: F) -> Partitioned<U>
+    where
+        U: Send + Sync,
+        F: Fn(&[T]) -> Vec<U> + Send + Sync,
+    {
+        let parts: Vec<Vec<U>> = std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                self.parts.iter().map(|part| scope.spawn(|| f(part))).collect();
+            handles.into_iter().map(|h| h.join().expect("partition task panicked")).collect()
+        });
+        Partitioned { parts }
+    }
+
+    /// Two-level reduce: folds each partition with `fold` from `identity`,
+    /// then combines the per-partition results with `combine` on the
+    /// driver.
+    pub fn reduce<U, F, C>(&self, identity: U, fold: F, combine: C) -> U
+    where
+        U: Clone + Send + Sync,
+        F: Fn(U, &T) -> U + Send + Sync,
+        C: Fn(U, U) -> U,
+    {
+        let partials: Vec<U> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .parts
+                .iter()
+                .map(|part| {
+                    let identity = identity.clone();
+                    let fold = &fold;
+                    scope.spawn(move || part.iter().fold(identity, fold))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("partition task panicked")).collect()
+        });
+        partials.into_iter().fold(identity, combine)
+    }
+
+    /// Gathers all elements to the driver, partition order preserved.
+    pub fn collect(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.parts.iter().flatten().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_into_requested_partitions() {
+        let d = Partitioned::from_vec((0..10).collect::<Vec<i32>>(), 3);
+        assert_eq!(d.num_partitions(), 3);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.collect(), (0..10).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn handles_more_partitions_than_elements() {
+        let d = Partitioned::from_vec(vec![1, 2], 8);
+        assert!(d.num_partitions() <= 2);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let d = Partitioned::from_vec((0..20).collect::<Vec<i32>>(), 4);
+        assert_eq!(d.map(|x| x + 1).collect(), (1..21).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn filter_drops_elements() {
+        let d = Partitioned::from_vec((0..20).collect::<Vec<i32>>(), 4);
+        let even = d.filter(|x| x % 2 == 0);
+        assert_eq!(even.len(), 10);
+    }
+
+    #[test]
+    fn reduce_sums_across_partitions() {
+        let d = Partitioned::from_vec((1..=100).collect::<Vec<i64>>(), 7);
+        let sum = d.reduce(0i64, |a, b| a + *b, |a, b| a + b);
+        assert_eq!(sum, 5050);
+    }
+
+    #[test]
+    fn empty_dataset_is_well_behaved() {
+        let d = Partitioned::from_vec(Vec::<i32>::new(), 4);
+        assert!(d.is_empty());
+        assert_eq!(d.reduce(0, |a, b| a + *b, |a, b| a + b), 0);
+        assert!(d.collect().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn rejects_zero_partitions() {
+        let _ = Partitioned::from_vec(vec![1], 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Empirical cumulative distribution functions.
+
+/// An empirical CDF over `f64` samples.
+///
+/// Used by the measurement-study harness to reproduce the friend-attribute
+/// CDFs of Figures 3–5.
+///
+/// ```
+/// let cdf = eval::Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(cdf.eval(2.0), 0.5);
+/// assert_eq!(cdf.quantile(0.5), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples; non-finite samples are dropped.
+    pub fn from_samples<I>(samples: I) -> Self
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("filtered to finite values"));
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`; 0.0 for an empty CDF.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`), as the smallest sample
+    /// `x` with `eval(x) >= q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CDF is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        let q = q.clamp(0.0, 1.0);
+        let pos = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[pos - 1]
+    }
+
+    /// Samples the CDF at `points` evenly spaced x-values spanning the data
+    /// range, returning `(x, P(X <= x))` pairs — the plottable curve.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty");
+        (0..points)
+            .map(|i| {
+                let x = if points == 1 {
+                    hi
+                } else {
+                    lo + (hi - lo) * i as f64 / (points - 1) as f64
+                };
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_counts_inclusive() {
+        let cdf = Cdf::from_samples([1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(2.0), 0.75);
+        assert_eq!(cdf.eval(4.0), 1.0);
+        assert_eq!(cdf.eval(10.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_match_by_hand() {
+        let cdf = Cdf::from_samples([10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(cdf.quantile(0.25), 10.0);
+        assert_eq!(cdf.quantile(0.26), 20.0);
+        assert_eq!(cdf.quantile(1.0), 40.0);
+        assert_eq!(cdf.quantile(0.0), 10.0);
+    }
+
+    #[test]
+    fn drops_non_finite() {
+        let cdf = Cdf::from_samples([1.0, f64::NAN, 2.0, f64::INFINITY]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn curve_spans_range() {
+        let cdf = Cdf::from_samples([0.0, 5.0, 10.0]);
+        let curve = cdf.curve(3);
+        assert_eq!(curve[0].0, 0.0);
+        assert_eq!(curve[2].0, 10.0);
+        assert_eq!(curve[2].1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_of_empty_panics() {
+        Cdf::from_samples([]).quantile(0.5);
+    }
+}

@@ -1,0 +1,138 @@
+//! A minimal fixed-width text-table renderer for experiment output.
+//!
+//! The benchmark harnesses print paper-style tables with it:
+//!
+//! ```
+//! use eval::table::Table;
+//! let mut t = Table::new(["graph", "precision"]);
+//! t.row(["Facebook".to_string(), "0.98".to_string()]);
+//! let s = t.render();
+//! assert!(s.contains("Facebook"));
+//! ```
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept and
+    /// widen the table.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a separator line under the header.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut width = vec![0usize; cols];
+        let measure = |row: &[String], width: &mut Vec<usize>| {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        };
+        measure(&self.header, &mut width);
+        for r in &self.rows {
+            measure(r, &mut width);
+        }
+
+        let fmt_row = |row: &[String]| -> String {
+            let mut line = String::new();
+            for (i, w) in width.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(cell);
+                for _ in cell.chars().count()..*w {
+                    line.push(' ');
+                }
+                if i + 1 < width.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.extend(std::iter::repeat_n('-', total));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with 4 significant decimals, the precision the paper's
+/// plots are read at.
+pub fn fnum(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["a", "long-header"]);
+        t.row(["xxxxxxx", "1"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Header and row share the second-column start offset.
+        let pos_header = lines[0].find("long-header").unwrap();
+        let pos_row = lines[2].find('1').unwrap();
+        assert_eq!(pos_header, pos_row);
+    }
+
+    #[test]
+    fn tolerates_ragged_rows() {
+        let mut t = Table::new(["a"]);
+        t.row(["1", "2", "3"]);
+        t.row(["x"]);
+        let s = t.render();
+        assert!(s.contains('3'));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn fnum_fixes_decimals() {
+        assert_eq!(fnum(0.5), "0.5000");
+        assert_eq!(fnum(1.0 / 3.0), "0.3333");
+    }
+}

@@ -1,0 +1,155 @@
+use std::fmt;
+
+/// The rejection weight `k` of the linear objective
+/// `|F(Ū,U)| − k·|R⟨Ū,U⟩|`, held as an exact rational `num/den`.
+///
+/// Theorem 1 reduces the MAAR (ratio) objective to this family of linear
+/// objectives; Rejecto sweeps `k` through a geometric sequence
+/// ([`KParam::geometric_sequence`]) and keeps the cut with the lowest
+/// friends-to-rejections ratio. A rational `k` makes every KL gain an exact
+/// integer `num·ΔR − den·ΔF`.
+///
+/// ```
+/// use kl::KParam;
+/// let k = KParam::approximate(0.7, 64);
+/// assert!((k.value() - 0.7).abs() < 1.0 / 64.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KParam {
+    num: u64,
+    den: u64,
+}
+
+impl KParam {
+    /// An exact rational `num/den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num == 0` or `den == 0` (the objective requires `k > 0`).
+    pub fn new(num: u64, den: u64) -> Self {
+        assert!(num > 0, "k must be positive (zero numerator)");
+        assert!(den > 0, "k denominator must be positive");
+        let g = gcd(num, den);
+        KParam { num: num / g, den: den / g }
+    }
+
+    /// The closest rational with the given denominator resolution
+    /// (numerator at least 1, so the result is always positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not finite and positive, or `den == 0`.
+    pub fn approximate(k: f64, den: u64) -> Self {
+        assert!(k.is_finite() && k > 0.0, "k must be finite and positive, got {k}");
+        assert!(den > 0, "denominator resolution must be positive");
+        let num = ((k * den as f64).round() as u64).max(1);
+        KParam::new(num, den)
+    }
+
+    /// Numerator (reduced).
+    pub fn num(&self) -> u64 {
+        self.num
+    }
+
+    /// Denominator (reduced).
+    pub fn den(&self) -> u64 {
+        self.den
+    }
+
+    /// The value `num/den` as a float.
+    pub fn value(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// The geometric sweep `k_min, k_min·factor, …` capped at `k_max`,
+    /// rationalized at resolution `den` and deduplicated. This is the
+    /// paper's "iterate k through a geometric sequence" (§IV-D).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_min`, `k_max`, or `factor` are non-positive,
+    /// `k_min > k_max`, or `factor <= 1`.
+    pub fn geometric_sequence(k_min: f64, k_max: f64, factor: f64, den: u64) -> Vec<KParam> {
+        assert!(k_min > 0.0 && k_max > 0.0, "k bounds must be positive");
+        assert!(k_min <= k_max, "k_min {k_min} exceeds k_max {k_max}");
+        assert!(factor > 1.0, "geometric factor must exceed 1");
+        let mut out = Vec::new();
+        let mut k = k_min;
+        loop {
+            let p = KParam::approximate(k, den);
+            if out.last() != Some(&p) {
+                out.push(p);
+            }
+            if k >= k_max {
+                break;
+            }
+            k = (k * factor).min(k_max);
+        }
+        out
+    }
+}
+
+impl fmt::Display for KParam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_fractions() {
+        let k = KParam::new(6, 4);
+        assert_eq!((k.num(), k.den()), (3, 2));
+        assert_eq!(k.value(), 1.5);
+    }
+
+    #[test]
+    fn approximation_is_within_resolution() {
+        let k = KParam::approximate(0.333, 100);
+        assert!((k.value() - 0.333).abs() <= 0.005);
+    }
+
+    #[test]
+    fn approximation_never_yields_zero() {
+        let k = KParam::approximate(1e-9, 16);
+        assert!(k.value() > 0.0);
+    }
+
+    #[test]
+    fn geometric_sequence_covers_range() {
+        let seq = KParam::geometric_sequence(0.1, 10.0, 2.0, 64);
+        assert!(seq.first().unwrap().value() <= 0.11);
+        assert!((seq.last().unwrap().value() - 10.0).abs() < 0.02);
+        for w in seq.windows(2) {
+            assert!(w[0].value() < w[1].value(), "sequence must increase");
+        }
+    }
+
+    #[test]
+    fn geometric_sequence_single_point() {
+        let seq = KParam::geometric_sequence(1.0, 1.0, 2.0, 4);
+        assert_eq!(seq.len(), 1);
+        assert_eq!(seq[0].value(), 1.0);
+    }
+
+    #[test]
+    fn display_shows_fraction() {
+        assert_eq!(KParam::new(7, 2).to_string(), "7/2");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_numerator() {
+        let _ = KParam::new(0, 3);
+    }
+}

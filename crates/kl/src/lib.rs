@@ -1,0 +1,29 @@
+//! Kernighan–Lin partitioning, classic and extended (the paper's §IV-C/D).
+//!
+//! Three layers:
+//!
+//! * [`BucketList`] — the Fiduccia–Mattheyses gain structure: an array of
+//!   intrusive doubly-linked lists indexed by integer gain, giving `O(1)`
+//!   insert/remove/update and amortized-`O(1)` max-gain extraction. This is
+//!   the optimization the paper cites for making KL effectively linear-time
+//!   (§IV-C, \[21\]).
+//! * [`classic`] — the textbook Kernighan–Lin bisection with node-*pair*
+//!   interchanges on an undirected graph, kept as a reference
+//!   implementation of the heuristic the paper builds on (Figure 7).
+//! * [`ExtendedKl`] — the paper's Algorithm 1: single-node switches on a
+//!   rejection-augmented graph, minimizing the weighted objective
+//!   `|F(Ū,U)| − k·|R⟨Ū,U⟩|` with friendships at weight 1 and rejections at
+//!   weight −k, seed nodes pinned, and the max-gain-prefix commit rule.
+//!
+//! The parameter `k` is a rational [`KParam`] (`num/den`), which keeps every
+//! gain an exact integer `num·ΔR − den·ΔF` — no floating-point tie-break
+//! instability in the bucket list.
+
+mod bucket;
+pub mod classic;
+mod extended;
+mod kparam;
+
+pub use bucket::BucketList;
+pub use extended::{ExtendedKl, ExtendedKlConfig, KlOutcome};
+pub use kparam::KParam;

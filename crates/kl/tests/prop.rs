@@ -1,0 +1,147 @@
+//! Property-based tests for the bucket list and the extended KL solver.
+
+use kl::{BucketList, ExtendedKl, ExtendedKlConfig, KParam};
+use proptest::prelude::*;
+use rejection::{AugmentedGraph, AugmentedGraphBuilder, NodeId, Partition};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, i64),
+    Remove(u32),
+    Update(u32, i64),
+    PopMax,
+}
+
+fn op_strategy(nodes: u32, bound: i64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..nodes, -bound..=bound).prop_map(|(n, g)| Op::Insert(n, g)),
+        (0..nodes).prop_map(Op::Remove),
+        (0..nodes, -bound..=bound).prop_map(|(n, g)| Op::Update(n, g)),
+        Just(Op::PopMax),
+    ]
+}
+
+proptest! {
+    /// The bucket list behaves exactly like a naive (gain, node) model
+    /// under arbitrary operation sequences. Invalid operations are skipped
+    /// on both sides.
+    #[test]
+    fn bucket_list_matches_reference_model(
+        ops in proptest::collection::vec(op_strategy(12, 20), 1..200),
+    ) {
+        let mut bucket = BucketList::new(12, -20, 20);
+        let mut model: Vec<(u32, i64)> = Vec::new(); // insertion order
+
+        for op in ops {
+            match op {
+                Op::Insert(n, g) => {
+                    if !bucket.contains(n) {
+                        bucket.insert(n, g);
+                        model.push((n, g));
+                    }
+                }
+                Op::Remove(n) => {
+                    if bucket.contains(n) {
+                        bucket.remove(n);
+                        model.retain(|&(m, _)| m != n);
+                    }
+                }
+                Op::Update(n, g) => {
+                    if bucket.contains(n) {
+                        bucket.update(n, g);
+                        model.retain(|&(m, _)| m != n);
+                        model.push((n, g));
+                    }
+                }
+                Op::PopMax => {
+                    let got = bucket.pop_max();
+                    let expect_gain = model.iter().map(|&(_, g)| g).max();
+                    match (got, expect_gain) {
+                        (None, None) => {}
+                        (Some((n, g)), Some(eg)) => {
+                            prop_assert_eq!(g, eg, "pop_max returned wrong gain");
+                            // Ties break arbitrarily, but the popped entry
+                            // must be the node the bucket returned.
+                            let pos = model.iter().position(|&(m, _)| m == n)
+                                .expect("model must contain the popped node");
+                            prop_assert_eq!(model[pos].1, eg);
+                            model.remove(pos);
+                        }
+                        (got, expect) => {
+                            prop_assert!(false, "mismatch: {:?} vs {:?}", got, expect);
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(bucket.len(), model.len());
+            if let Some(max) = model.iter().map(|&(_, g)| g).max() {
+                prop_assert_eq!(bucket.peek_max_gain(), Some(max));
+            }
+        }
+    }
+}
+
+fn augmented_graph(n: usize) -> impl Strategy<Value = AugmentedGraph> {
+    let nodes = 3..n;
+    nodes.prop_flat_map(|n| {
+        let friend = proptest::collection::vec((0..n as u32, 0..n as u32), 0..n * 2);
+        let reject = proptest::collection::vec((0..n as u32, 0..n as u32), 0..n * 2);
+        (Just(n), friend, reject).prop_map(|(n, friend, reject)| {
+            let mut b = AugmentedGraphBuilder::new(n);
+            for (u, v) in friend {
+                b.add_friendship(NodeId(u), NodeId(v));
+            }
+            for (u, v) in reject {
+                b.add_rejection(NodeId(u), NodeId(v));
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    /// The committed objective never worsens relative to the initial
+    /// partition, for any graph and any k.
+    #[test]
+    fn extended_kl_never_worsens(
+        g in augmented_graph(16),
+        num in 1u64..12,
+        den in 1u64..12,
+    ) {
+        let kl = ExtendedKl::new(&g, ExtendedKlConfig::new(KParam::new(num, den)));
+        let init = Partition::all_legit(&g);
+        let before = kl.objective(&init);
+        let out = kl.run(init);
+        prop_assert!(out.objective <= before,
+            "objective worsened: {} > {}", out.objective, before);
+        // And the reported objective matches the partition it returns.
+        prop_assert_eq!(out.objective, kl.objective(&out.partition));
+    }
+
+    /// Locked nodes never move, regardless of graph or k.
+    #[test]
+    fn locked_nodes_never_move(
+        g in augmented_graph(12),
+        locked_bits in proptest::collection::vec(any::<bool>(), 12),
+        num in 1u64..8,
+    ) {
+        let n = g.num_nodes();
+        let mut kl = ExtendedKl::new(&g, ExtendedKlConfig::new(KParam::new(num, 2)));
+        let locked: Vec<bool> = (0..n).map(|i| locked_bits[i % locked_bits.len()]).collect();
+        for (i, &l) in locked.iter().enumerate() {
+            if l {
+                kl.lock(NodeId(i as u32));
+            }
+        }
+        let init = Partition::all_legit(&g);
+        let out = kl.run(init);
+        for (i, &l) in locked.iter().enumerate() {
+            if l {
+                prop_assert_eq!(
+                    out.partition.region(NodeId(i as u32)),
+                    rejection::Region::Legit
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,424 @@
+use socialgraph::{Graph, NodeId};
+
+/// The rejection-augmented social graph `G = (V, F, R⃗)`.
+///
+/// Friendships are undirected and deduplicated. Rejections are directed:
+/// `⟨u, v⟩` records that `u` rejected `v`'s friend request (multiple
+/// rejections between the same ordered pair collapse to one edge, per
+/// §III-A). Both rejection directions are indexed so cut bookkeeping and
+/// gain updates are `O(deg)`.
+///
+/// Construct with [`AugmentedGraphBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AugmentedGraph {
+    friends: Vec<Vec<NodeId>>,
+    /// `rejected_by_me[u]` = users whose requests `u` rejected.
+    rejected_by_me: Vec<Vec<NodeId>>,
+    /// `rejectors_of_me[u]` = users who rejected `u`'s requests.
+    rejectors_of_me: Vec<Vec<NodeId>>,
+    num_friendships: u64,
+    num_rejections: u64,
+}
+
+impl AugmentedGraph {
+    /// Number of users.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.friends.len()
+    }
+
+    /// Number of undirected friendships `|F|`.
+    #[inline]
+    pub fn num_friendships(&self) -> u64 {
+        self.num_friendships
+    }
+
+    /// Number of directed rejection edges `|R⃗|`.
+    #[inline]
+    pub fn num_rejections(&self) -> u64 {
+        self.num_rejections
+    }
+
+    /// Sorted friends of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn friends(&self, u: NodeId) -> &[NodeId] {
+        &self.friends[u.index()]
+    }
+
+    /// Sorted list of users whose requests `u` rejected (out-edges of `u`
+    /// in `R⃗`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn rejected_by(&self, u: NodeId) -> &[NodeId] {
+        &self.rejected_by_me[u.index()]
+    }
+
+    /// Sorted list of users who rejected `u`'s requests (in-edges of `u`
+    /// in `R⃗`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn rejectors_of(&self, u: NodeId) -> &[NodeId] {
+        &self.rejectors_of_me[u.index()]
+    }
+
+    /// Friendship degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn friend_degree(&self, u: NodeId) -> usize {
+        self.friends[u.index()].len()
+    }
+
+    /// Number of rejections `u` received.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn rejections_received(&self, u: NodeId) -> usize {
+        self.rejectors_of_me[u.index()].len()
+    }
+
+    /// Whether `u` and `v` are friends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn are_friends(&self, u: NodeId, v: NodeId) -> bool {
+        self.friends[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// Whether the rejection edge `⟨u, v⟩` (u rejected v) exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn has_rejection(&self, u: NodeId, v: NodeId) -> bool {
+        self.rejected_by_me[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.friends.len() as u32).map(NodeId)
+    }
+
+    /// Per-node request *rejection ratio*: rejections received over
+    /// (friendships + rejections received). This is the individual-user
+    /// feature that naive spam filters threshold on (and that collusion
+    /// defeats — see the `fig13` experiment).
+    ///
+    /// Returns `None` for a user with no friendships and no rejections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn rejection_ratio(&self, u: NodeId) -> Option<f64> {
+        let f = self.friend_degree(u) as f64;
+        let r = self.rejections_received(u) as f64;
+        if f + r == 0.0 {
+            None
+        } else {
+            Some(r / (f + r))
+        }
+    }
+
+    /// The induced augmented subgraph on the nodes where `keep[u]` is true,
+    /// densely relabeled. Returns the subgraph plus `original`, mapping each
+    /// new id to its old id. Used when pruning detected spammer groups
+    /// "with their links and rejections" (§IV-E).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len() != self.num_nodes()`.
+    pub fn induced_subgraph(&self, keep: &[bool]) -> (AugmentedGraph, Vec<NodeId>) {
+        assert_eq!(keep.len(), self.num_nodes(), "keep mask has wrong length");
+        let mut new_id = vec![u32::MAX; self.num_nodes()];
+        let mut original = Vec::new();
+        for u in self.nodes() {
+            if keep[u.index()] {
+                new_id[u.index()] = original.len() as u32;
+                original.push(u);
+            }
+        }
+        let mut b = AugmentedGraphBuilder::new(original.len());
+        for (i, &orig) in original.iter().enumerate() {
+            let i = NodeId(i as u32);
+            for &v in self.friends(orig) {
+                let nv = new_id[v.index()];
+                if nv != u32::MAX && orig < v {
+                    b.add_friendship(i, NodeId(nv));
+                }
+            }
+            for &v in self.rejected_by(orig) {
+                let nv = new_id[v.index()];
+                if nv != u32::MAX {
+                    b.add_rejection(i, NodeId(nv));
+                }
+            }
+        }
+        (b.build(), original)
+    }
+
+    /// The friendship graph alone, as a [`socialgraph::Graph`] (used to hand
+    /// the sterilized graph to SybilRank in the defense-in-depth pipeline).
+    pub fn friendship_graph(&self) -> Graph {
+        let mut b = socialgraph::GraphBuilder::new(self.num_nodes());
+        for u in self.nodes() {
+            for &v in self.friends(u) {
+                if u < v {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+/// Incremental constructor for [`AugmentedGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct AugmentedGraphBuilder {
+    friends: Vec<Vec<NodeId>>,
+    rejected_by_me: Vec<Vec<NodeId>>,
+    rejectors_of_me: Vec<Vec<NodeId>>,
+}
+
+impl AugmentedGraphBuilder {
+    /// Creates a builder for `num_nodes` users with no edges.
+    pub fn new(num_nodes: usize) -> Self {
+        AugmentedGraphBuilder {
+            friends: vec![Vec::new(); num_nodes],
+            rejected_by_me: vec![Vec::new(); num_nodes],
+            rejectors_of_me: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// Preloads all edges of `g` as friendships.
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut b = AugmentedGraphBuilder::new(g.num_nodes());
+        for (u, v) in g.edges() {
+            b.friends[u.index()].push(v);
+            b.friends[v.index()].push(u);
+        }
+        b
+    }
+
+    /// Number of users.
+    pub fn num_nodes(&self) -> usize {
+        self.friends.len()
+    }
+
+    /// Appends `extra` isolated users, returning the first new id.
+    pub fn add_nodes(&mut self, extra: usize) -> NodeId {
+        let first = self.friends.len();
+        self.friends.resize(first + extra, Vec::new());
+        self.rejected_by_me.resize(first + extra, Vec::new());
+        self.rejectors_of_me.resize(first + extra, Vec::new());
+        NodeId::from_index(first)
+    }
+
+    /// Records the friendship `(u, v)` (an accepted request). Duplicates and
+    /// self-loops are dropped at [`build`](Self::build) time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_friendship(&mut self, u: NodeId, v: NodeId) {
+        assert!(
+            u.index() < self.friends.len() && v.index() < self.friends.len(),
+            "friendship ({u}, {v}) out of range for {} nodes",
+            self.friends.len()
+        );
+        if u == v {
+            return;
+        }
+        self.friends[u.index()].push(v);
+        self.friends[v.index()].push(u);
+    }
+
+    /// Records the rejection `⟨rejector, rejectee⟩`: `rejector` rejected a
+    /// request sent by `rejectee`. Duplicates of the same ordered pair and
+    /// self-rejections are dropped at [`build`](Self::build) time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_rejection(&mut self, rejector: NodeId, rejectee: NodeId) {
+        assert!(
+            rejector.index() < self.friends.len() && rejectee.index() < self.friends.len(),
+            "rejection ({rejector}, {rejectee}) out of range for {} nodes",
+            self.friends.len()
+        );
+        if rejector == rejectee {
+            return;
+        }
+        self.rejected_by_me[rejector.index()].push(rejectee);
+        self.rejectors_of_me[rejectee.index()].push(rejector);
+    }
+
+    /// Finalizes into an immutable [`AugmentedGraph`], sorting and
+    /// deduplicating all adjacency lists.
+    pub fn build(mut self) -> AugmentedGraph {
+        let mut num_friendships = 0u64;
+        for list in &mut self.friends {
+            list.sort_unstable();
+            list.dedup();
+            num_friendships += list.len() as u64;
+        }
+        let mut num_rejections = 0u64;
+        for list in &mut self.rejected_by_me {
+            list.sort_unstable();
+            list.dedup();
+            num_rejections += list.len() as u64;
+        }
+        for list in &mut self.rejectors_of_me {
+            list.sort_unstable();
+            list.dedup();
+        }
+        AugmentedGraph {
+            friends: self.friends,
+            rejected_by_me: self.rejected_by_me,
+            rejectors_of_me: self.rejectors_of_me,
+            num_friendships: num_friendships / 2,
+            num_rejections,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AugmentedGraph {
+        // 0-1 friends, 1-2 friends; 0 rejected 3; 3 rejected 2.
+        let mut b = AugmentedGraphBuilder::new(4);
+        b.add_friendship(NodeId(0), NodeId(1));
+        b.add_friendship(NodeId(1), NodeId(2));
+        b.add_rejection(NodeId(0), NodeId(3));
+        b.add_rejection(NodeId(3), NodeId(2));
+        b.build()
+    }
+
+    #[test]
+    fn counts_friendships_and_rejections() {
+        let g = sample();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_friendships(), 2);
+        assert_eq!(g.num_rejections(), 2);
+    }
+
+    #[test]
+    fn rejection_directions_are_indexed_both_ways() {
+        let g = sample();
+        assert_eq!(g.rejected_by(NodeId(0)), &[NodeId(3)]);
+        assert_eq!(g.rejectors_of(NodeId(3)), &[NodeId(0)]);
+        assert!(g.has_rejection(NodeId(0), NodeId(3)));
+        assert!(!g.has_rejection(NodeId(3), NodeId(0)));
+    }
+
+    #[test]
+    fn duplicate_rejections_collapse() {
+        let mut b = AugmentedGraphBuilder::new(2);
+        b.add_rejection(NodeId(0), NodeId(1));
+        b.add_rejection(NodeId(0), NodeId(1));
+        let g = b.build();
+        assert_eq!(g.num_rejections(), 1);
+    }
+
+    #[test]
+    fn opposite_direction_is_a_distinct_edge() {
+        let mut b = AugmentedGraphBuilder::new(2);
+        b.add_rejection(NodeId(0), NodeId(1));
+        b.add_rejection(NodeId(1), NodeId(0));
+        let g = b.build();
+        assert_eq!(g.num_rejections(), 2);
+    }
+
+    #[test]
+    fn self_edges_are_dropped() {
+        let mut b = AugmentedGraphBuilder::new(1);
+        b.add_friendship(NodeId(0), NodeId(0));
+        b.add_rejection(NodeId(0), NodeId(0));
+        let g = b.build();
+        assert_eq!(g.num_friendships(), 0);
+        assert_eq!(g.num_rejections(), 0);
+    }
+
+    #[test]
+    fn rejection_ratio_matches_by_hand() {
+        let g = sample();
+        // Node 2: 1 friend, 1 rejection received → 0.5.
+        assert_eq!(g.rejection_ratio(NodeId(2)), Some(0.5));
+        // Node 1: friends only → 0.
+        assert_eq!(g.rejection_ratio(NodeId(1)), Some(0.0));
+    }
+
+    #[test]
+    fn rejection_ratio_of_isolate_is_none() {
+        let g = AugmentedGraphBuilder::new(1).build();
+        assert_eq!(g.rejection_ratio(NodeId(0)), None);
+    }
+
+    #[test]
+    fn from_graph_preloads_friendships() {
+        let host = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let g = AugmentedGraphBuilder::from_graph(&host).build();
+        assert_eq!(g.num_friendships(), 2);
+        assert!(g.are_friends(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn induced_subgraph_drops_pruned_edges() {
+        let g = sample();
+        // Keep nodes 0, 1, 2 (drop 3): rejections touching 3 vanish.
+        let (sub, original) = g.induced_subgraph(&[true, true, true, false]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_friendships(), 2);
+        assert_eq!(sub.num_rejections(), 0);
+        assert_eq!(original, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_rejections() {
+        let g = sample();
+        let (sub, original) = g.induced_subgraph(&[true, false, true, true]);
+        // 0 rejected 3 and 3 rejected 2 both survive (0, 2, 3 kept).
+        assert_eq!(sub.num_rejections(), 2);
+        assert_eq!(original, vec![NodeId(0), NodeId(2), NodeId(3)]);
+        // Relabeled: old 3 is new 2; old 0 is new 0.
+        assert!(sub.has_rejection(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn friendship_graph_roundtrip() {
+        let g = sample();
+        let fg = g.friendship_graph();
+        assert_eq!(fg.num_edges(), 2);
+        assert!(fg.has_edge(NodeId(0), NodeId(1)));
+        assert!(fg.has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn add_nodes_extends_all_indices() {
+        let mut b = AugmentedGraphBuilder::new(1);
+        let first = b.add_nodes(2);
+        assert_eq!(first, NodeId(1));
+        b.add_rejection(NodeId(2), NodeId(0));
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.rejectors_of(NodeId(0)), &[NodeId(2)]);
+    }
+}

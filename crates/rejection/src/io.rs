@@ -1,0 +1,220 @@
+//! Persistence for rejection-augmented graphs.
+//!
+//! A plain-text line format, one edge per line:
+//!
+//! ```text
+//! # rejecto augmented graph v1: nodes=<n>
+//! F <u> <v>     # undirected friendship
+//! R <u> <v>     # u rejected v's request
+//! ```
+//!
+//! OSN operators export their (friendship, rejection) logs in this shape
+//! and run the detector offline; the CLI's `detect` subcommand consumes it.
+
+use crate::{AugmentedGraph, AugmentedGraphBuilder, NodeId};
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Errors from reading an augmented-graph file.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AugmentedIoError {
+    /// The header line is missing or malformed.
+    BadHeader {
+        /// What was found instead.
+        found: String,
+    },
+    /// An edge line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The unparsable content.
+        content: String,
+    },
+    /// An edge referenced a node outside the declared node count.
+    NodeOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending id.
+        node: u32,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for AugmentedIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AugmentedIoError::BadHeader { found } => {
+                write!(f, "missing or malformed header line, found {found:?}")
+            }
+            AugmentedIoError::Parse { line, content } => {
+                write!(f, "cannot parse edge line {line}: {content:?}")
+            }
+            AugmentedIoError::NodeOutOfRange { line, node } => {
+                write!(f, "node id {node} out of range on line {line}")
+            }
+            AugmentedIoError::Io(e) => write!(f, "augmented-graph i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AugmentedIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AugmentedIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for AugmentedIoError {
+    fn from(e: std::io::Error) -> Self {
+        AugmentedIoError::Io(e)
+    }
+}
+
+const HEADER_PREFIX: &str = "# rejecto augmented graph v1: nodes=";
+
+/// Writes `g` in the v1 text format.
+///
+/// # Errors
+///
+/// Returns [`AugmentedIoError::Io`] on write failures.
+pub fn write_augmented<W: Write>(g: &AugmentedGraph, writer: W) -> Result<(), AugmentedIoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{HEADER_PREFIX}{}", g.num_nodes())?;
+    for u in g.nodes() {
+        for &v in g.friends(u) {
+            if u < v {
+                writeln!(w, "F {u} {v}")?;
+            }
+        }
+        for &v in g.rejected_by(u) {
+            writeln!(w, "R {u} {v}")?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a v1 augmented-graph file.
+///
+/// # Errors
+///
+/// Returns a parse/header/range error as appropriate, or
+/// [`AugmentedIoError::Io`] on read failures.
+pub fn read_augmented<R: Read>(reader: R) -> Result<AugmentedGraph, AugmentedIoError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| AugmentedIoError::BadHeader { found: "<empty file>".to_string() })?;
+    let n: usize = header
+        .strip_prefix(HEADER_PREFIX)
+        .and_then(|rest| rest.trim().parse().ok())
+        .ok_or_else(|| AugmentedIoError::BadHeader { found: header.clone() })?;
+
+    let mut b = AugmentedGraphBuilder::new(n);
+    for (i, line) in lines.enumerate() {
+        let lineno = i + 2;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let kind = parts.next();
+        let u: Option<u32> = parts.next().and_then(|t| t.parse().ok());
+        let v: Option<u32> = parts.next().and_then(|t| t.parse().ok());
+        let (Some(kind), Some(u), Some(v)) = (kind, u, v) else {
+            return Err(AugmentedIoError::Parse { line: lineno, content: trimmed.to_string() });
+        };
+        for id in [u, v] {
+            if id as usize >= n {
+                return Err(AugmentedIoError::NodeOutOfRange { line: lineno, node: id });
+            }
+        }
+        match kind {
+            "F" => b.add_friendship(NodeId(u), NodeId(v)),
+            "R" => b.add_rejection(NodeId(u), NodeId(v)),
+            _ => {
+                return Err(AugmentedIoError::Parse {
+                    line: lineno,
+                    content: trimmed.to_string(),
+                })
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AugmentedGraphBuilder;
+
+    fn sample() -> AugmentedGraph {
+        let mut b = AugmentedGraphBuilder::new(4);
+        b.add_friendship(NodeId(0), NodeId(1));
+        b.add_friendship(NodeId(2), NodeId(3));
+        b.add_rejection(NodeId(1), NodeId(2));
+        b.add_rejection(NodeId(3), NodeId(0));
+        b.build()
+    }
+
+    #[test]
+    fn roundtrips_exactly() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_augmented(&g, &mut buf).unwrap();
+        let g2 = read_augmented(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn preserves_rejection_direction() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_augmented(&g, &mut buf).unwrap();
+        let g2 = read_augmented(buf.as_slice()).unwrap();
+        assert!(g2.has_rejection(NodeId(1), NodeId(2)));
+        assert!(!g2.has_rejection(NodeId(2), NodeId(1)));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = read_augmented("F 0 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, AugmentedIoError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_edge_kind() {
+        let data = format!("{HEADER_PREFIX}3\nX 0 1\n");
+        let err = read_augmented(data.as_bytes()).unwrap_err();
+        assert!(matches!(err, AugmentedIoError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_nodes() {
+        let data = format!("{HEADER_PREFIX}2\nF 0 5\n");
+        let err = read_augmented(data.as_bytes()).unwrap_err();
+        assert!(matches!(err, AugmentedIoError::NodeOutOfRange { node: 5, .. }));
+    }
+
+    #[test]
+    fn tolerates_comments_and_blanks() {
+        let data = format!("{HEADER_PREFIX}2\n\n# comment\nF 0 1\n");
+        let g = read_augmented(data.as_bytes()).unwrap();
+        assert_eq!(g.num_friendships(), 1);
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = AugmentedGraphBuilder::new(0).build();
+        let mut buf = Vec::new();
+        write_augmented(&g, &mut buf).unwrap();
+        let g2 = read_augmented(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_nodes(), 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the augmented graph and partition invariants.
+
+use proptest::prelude::*;
+use rejection::{AugmentedGraph, AugmentedGraphBuilder, NodeId, Partition, Region};
+
+/// Strategy: a random augmented graph with up to `n` nodes plus edge lists.
+fn augmented_graph(n: usize) -> impl Strategy<Value = AugmentedGraph> {
+    let nodes = 2..n;
+    nodes.prop_flat_map(|n| {
+        let friend = proptest::collection::vec((0..n as u32, 0..n as u32), 0..n * 3);
+        let reject = proptest::collection::vec((0..n as u32, 0..n as u32), 0..n * 3);
+        (Just(n), friend, reject).prop_map(|(n, friend, reject)| {
+            let mut b = AugmentedGraphBuilder::new(n);
+            for (u, v) in friend {
+                b.add_friendship(NodeId(u), NodeId(v));
+            }
+            for (u, v) in reject {
+                b.add_rejection(NodeId(u), NodeId(v));
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    /// Incremental cut counters match a from-scratch recount after any
+    /// sequence of single-node switches.
+    #[test]
+    fn switch_counters_match_recount(
+        g in augmented_graph(24),
+        moves in proptest::collection::vec(0u32..24, 1..64),
+    ) {
+        let mut p = Partition::all_legit(&g);
+        for m in moves {
+            let u = NodeId(m % g.num_nodes() as u32);
+            p.switch(&g, u);
+            let regions: Vec<Region> = g.nodes().map(|x| p.region(x)).collect();
+            let fresh = Partition::from_regions(&g, regions);
+            prop_assert_eq!(p.cross_friendships(), fresh.cross_friendships());
+            prop_assert_eq!(p.cross_rejections(), fresh.cross_rejections());
+            prop_assert_eq!(p.suspect_count(), fresh.suspect_count());
+        }
+    }
+
+    /// switch_delta previews exactly what switch applies.
+    #[test]
+    fn delta_is_exact_preview(
+        g in augmented_graph(20),
+        node in 0u32..20,
+        presuspect in proptest::collection::vec(any::<bool>(), 20),
+    ) {
+        let n = g.num_nodes();
+        let u = NodeId(node % n as u32);
+        let regions: Vec<Region> = (0..n)
+            .map(|i| if presuspect[i % presuspect.len()] { Region::Suspect } else { Region::Legit })
+            .collect();
+        let mut p = Partition::from_regions(&g, regions);
+        let (df, dr) = p.switch_delta(&g, u);
+        let (f0, r0) = (p.cross_friendships() as i64, p.cross_rejections() as i64);
+        p.switch(&g, u);
+        prop_assert_eq!(p.cross_friendships() as i64, f0 + df);
+        prop_assert_eq!(p.cross_rejections() as i64, r0 + dr);
+    }
+
+    /// Double switch is the identity.
+    #[test]
+    fn double_switch_is_identity(g in augmented_graph(16), node in 0u32..16) {
+        let u = NodeId(node % g.num_nodes() as u32);
+        let mut p = Partition::all_legit(&g);
+        let before = p.clone();
+        p.switch(&g, u);
+        p.switch(&g, u);
+        prop_assert_eq!(p, before);
+    }
+
+    /// Acceptance rate, when defined, is a probability; cross counters are
+    /// bounded by the graph totals.
+    #[test]
+    fn cut_counters_are_bounded(
+        g in augmented_graph(20),
+        presuspect in proptest::collection::vec(any::<bool>(), 20),
+    ) {
+        let n = g.num_nodes();
+        let regions: Vec<Region> = (0..n)
+            .map(|i| if presuspect[i % presuspect.len()] { Region::Suspect } else { Region::Legit })
+            .collect();
+        let p = Partition::from_regions(&g, regions);
+        prop_assert!(p.cross_friendships() <= g.num_friendships());
+        prop_assert!(p.cross_rejections() <= g.num_rejections());
+        if let Some(ac) = p.acceptance_rate() {
+            prop_assert!((0.0..=1.0).contains(&ac));
+        }
+    }
+
+    /// Induced subgraphs never contain edges touching dropped nodes, and
+    /// edge counts never grow.
+    #[test]
+    fn induced_subgraph_is_consistent(
+        g in augmented_graph(20),
+        keep_bits in proptest::collection::vec(any::<bool>(), 20),
+    ) {
+        let n = g.num_nodes();
+        let keep: Vec<bool> = (0..n).map(|i| keep_bits[i % keep_bits.len()]).collect();
+        let (sub, original) = g.induced_subgraph(&keep);
+        prop_assert_eq!(sub.num_nodes(), keep.iter().filter(|&&k| k).count());
+        prop_assert!(sub.num_friendships() <= g.num_friendships());
+        prop_assert!(sub.num_rejections() <= g.num_rejections());
+        // Every surviving friendship exists in the original graph.
+        for u in sub.nodes() {
+            for &v in sub.friends(u) {
+                prop_assert!(g.are_friends(original[u.index()], original[v.index()]));
+            }
+            for &v in sub.rejected_by(u) {
+                prop_assert!(g.has_rejection(original[u.index()], original[v.index()]));
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Synthetic reproduction of the purchased-fake-account measurement study
+//! (§II, Figures 1 and 3–5).
+//!
+//! The paper bought 43 well-maintained fake Facebook accounts and observed
+//! that, despite their crafted profiles, 16.7%–67.9% of their friend
+//! requests sat pending (i.e. ignored/rejected). We cannot re-buy those
+//! accounts, so this module draws a synthetic population matching the
+//! reported envelope: ≥50 friends each, 2,804 friends and 2,065 pending
+//! requests over 43 accounts in aggregate, pending fraction per account
+//! uniform in the reported range, plus heavy-tailed friend-attribute models
+//! for the CDFs of Figures 3–5.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Attributes of one friend account of a purchased fake (Figures 3–5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FriendProfile {
+    /// Degree in the social graph (Fig 3; heavy-tailed, a few >1000).
+    pub degree: u32,
+    /// Wall posts (Fig 4).
+    pub posts: u32,
+    /// Likes on those posts (Fig 4).
+    pub post_likes: u32,
+    /// Comments on those posts (Fig 4).
+    pub post_comments: u32,
+    /// Uploaded photos (Fig 5).
+    pub photos: u32,
+    /// Likes on those photos (Fig 5).
+    pub photo_likes: u32,
+    /// Comments on those photos (Fig 5).
+    pub photo_comments: u32,
+}
+
+/// One synthetic purchased account (Figure 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PurchasedAccount {
+    /// Anonymized id, 0-based as in Figure 1's x-axis.
+    pub id: u32,
+    /// Accepted friends on the account.
+    pub friends: u32,
+    /// Pending (ignored/rejected) friend requests.
+    pub pending: u32,
+    /// Profiles of the accepted friends.
+    pub friend_profiles: Vec<FriendProfile>,
+}
+
+impl PurchasedAccount {
+    /// Fraction of this account's requests left pending:
+    /// `pending / (friends + pending)`.
+    pub fn pending_fraction(&self) -> f64 {
+        let total = self.friends + self.pending;
+        if total == 0 {
+            0.0
+        } else {
+            self.pending as f64 / total as f64
+        }
+    }
+}
+
+/// Configuration of the synthetic study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PurchasedStudyConfig {
+    /// Accounts to draw (paper: 43).
+    pub num_accounts: usize,
+    /// Minimum friends per account ("\>50 real US friends" was required).
+    pub min_friends: u32,
+    /// Maximum friends per account (Fig 1 tops out around 110).
+    pub max_friends: u32,
+    /// Lower bound of the per-account pending fraction (paper: 0.167).
+    pub pending_fraction_min: f64,
+    /// Upper bound of the per-account pending fraction (paper: 0.679).
+    pub pending_fraction_max: f64,
+}
+
+impl Default for PurchasedStudyConfig {
+    fn default() -> Self {
+        PurchasedStudyConfig {
+            num_accounts: 43,
+            min_friends: 50,
+            max_friends: 110,
+            pending_fraction_min: 0.167,
+            pending_fraction_max: 0.679,
+        }
+    }
+}
+
+/// The generated study population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PurchasedStudy {
+    /// The accounts, id order.
+    pub accounts: Vec<PurchasedAccount>,
+}
+
+impl PurchasedStudy {
+    /// Draws a study deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config bounds are inverted or the fractions leave
+    /// `[0, 1)`.
+    pub fn generate(config: PurchasedStudyConfig, seed: u64) -> Self {
+        assert!(config.min_friends <= config.max_friends, "friend bounds inverted");
+        assert!(
+            0.0 <= config.pending_fraction_min
+                && config.pending_fraction_min <= config.pending_fraction_max
+                && config.pending_fraction_max < 1.0,
+            "pending fraction bounds invalid"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let accounts = (0..config.num_accounts)
+            .map(|id| {
+                let friends = rng.gen_range(config.min_friends..=config.max_friends);
+                let frac =
+                    rng.gen_range(config.pending_fraction_min..=config.pending_fraction_max);
+                let pending = ((friends as f64) * frac / (1.0 - frac)).round() as u32;
+                let friend_profiles =
+                    (0..friends).map(|_| sample_friend_profile(&mut rng)).collect();
+                PurchasedAccount { id: id as u32, friends, pending, friend_profiles }
+            })
+            .collect();
+        PurchasedStudy { accounts }
+    }
+
+    /// Total friends across accounts (paper: 2,804).
+    pub fn total_friends(&self) -> u64 {
+        self.accounts.iter().map(|a| a.friends as u64).sum()
+    }
+
+    /// Total pending requests across accounts (paper: 2,065).
+    pub fn total_pending(&self) -> u64 {
+        self.accounts.iter().map(|a| a.pending as u64).sum()
+    }
+
+    /// Every friend profile in the study, flattened (the Fig 3–5 sample).
+    pub fn all_friend_profiles(&self) -> impl Iterator<Item = &FriendProfile> {
+        self.accounts.iter().flat_map(|a| a.friend_profiles.iter())
+    }
+}
+
+/// Draws one friend with heavy-tailed degree (Pareto-ish, a small tail
+/// above 1000 matching Fig 3) and activity counts with geometric tails
+/// and a sizable active fraction (Figs 4–5).
+fn sample_friend_profile<R: Rng + ?Sized>(rng: &mut R) -> FriendProfile {
+    // Degree: Pareto(x_m = 40, α = 1.3) capped at 5000 — median ≈ 70,
+    // ~4% above 1000 ("some of the friends have a social degree >1000").
+    let u: f64 = rng.gen_range(0.0f64..1.0).max(1e-9);
+    let degree = (40.0 / u.powf(1.0 / 1.3)).min(5_000.0) as u32;
+
+    // Activity: a fraction of friends is inactive; active ones have
+    // geometric-tailed counts. Likes/comments scale with the base count.
+    let active = rng.gen_bool(0.8);
+    let geo = |rng: &mut R, mean: f64| -> u32 {
+        if mean <= 0.0 {
+            return 0;
+        }
+        let p = 1.0 / (1.0 + mean);
+        let u: f64 = rng.gen_range(0.0f64..1.0).max(1e-12);
+        (u.ln() / (1.0 - p).ln()).floor().min(300.0) as u32
+    };
+    let posts = if active { geo(rng, 40.0) } else { 0 };
+    let photos = if active { geo(rng, 25.0) } else { 0 };
+    FriendProfile {
+        degree,
+        posts,
+        post_likes: geo(rng, posts as f64 * 0.8),
+        post_comments: geo(rng, posts as f64 * 0.5),
+        photos,
+        photo_likes: geo(rng, photos as f64 * 0.9),
+        photo_comments: geo(rng, photos as f64 * 0.4),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_fractions_stay_in_reported_envelope() {
+        let study = PurchasedStudy::generate(PurchasedStudyConfig::default(), 1);
+        assert_eq!(study.accounts.len(), 43);
+        for a in &study.accounts {
+            let f = a.pending_fraction();
+            assert!(
+                (0.15..0.70).contains(&f),
+                "account {} pending fraction {f} outside envelope",
+                a.id
+            );
+            assert!(a.friends >= 50);
+        }
+    }
+
+    #[test]
+    fn aggregate_totals_are_in_the_papers_regime() {
+        let study = PurchasedStudy::generate(PurchasedStudyConfig::default(), 2);
+        // Paper totals: 2,804 friends / 2,065 pending over 43 accounts.
+        let friends = study.total_friends();
+        let pending = study.total_pending();
+        assert!((2_000..4_500).contains(&friends), "friends {friends}");
+        assert!((1_000..4_500).contains(&pending), "pending {pending}");
+    }
+
+    #[test]
+    fn some_friends_have_degree_above_1000() {
+        let study = PurchasedStudy::generate(PurchasedStudyConfig::default(), 3);
+        let high = study.all_friend_profiles().filter(|p| p.degree > 1_000).count();
+        let total = study.all_friend_profiles().count();
+        assert!(high > 0, "no high-degree friends in {total}");
+        assert!((high as f64) < 0.15 * total as f64, "tail too fat: {high}/{total}");
+    }
+
+    #[test]
+    fn activity_has_an_inactive_mass_and_a_tail() {
+        let study = PurchasedStudy::generate(PurchasedStudyConfig::default(), 4);
+        let inactive = study.all_friend_profiles().filter(|p| p.posts == 0).count();
+        let busy = study.all_friend_profiles().filter(|p| p.posts > 100).count();
+        let total = study.all_friend_profiles().count();
+        assert!(inactive > total / 20, "inactive {inactive}/{total}");
+        assert!(busy > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = PurchasedStudy::generate(PurchasedStudyConfig::default(), 9);
+        let b = PurchasedStudy::generate(PurchasedStudyConfig::default(), 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "pending fraction bounds invalid")]
+    fn validates_fraction_bounds() {
+        let cfg = PurchasedStudyConfig { pending_fraction_max: 1.0, ..Default::default() };
+        let _ = PurchasedStudy::generate(cfg, 1);
+    }
+}

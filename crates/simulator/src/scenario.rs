@@ -1,0 +1,617 @@
+use crate::RequestLog;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rejection::AugmentedGraph;
+use socialgraph::{Graph, NodeId};
+
+/// The self-rejection whitewashing strategy (§IV-E, Fig 14).
+///
+/// The attacker wants to protect `whitewashed` of his *spamming* accounts.
+/// He sacrifices the remaining fakes: they stop spamming legitimate users
+/// and instead send `requests_per_sender` requests each to the whitewashed
+/// accounts, who **reject** them at `rejection_rate`. Rejecting requests is
+/// what legitimate users do to spam, so the whitewashed accounts now look
+/// legitimate — and the crafted intra-fake cut around the sacrificed
+/// senders can have a lower friends-to-rejections ratio than the global
+/// spammer/legitimate cut, luring a single-cut detector away.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelfRejectionConfig {
+    /// How many fakes the attacker whitewashes. These accounts keep
+    /// sending friend spam to legitimate users, but additionally reject
+    /// the internal requests.
+    pub whitewashed: usize,
+    /// Requests each sacrificed fake sends to the whitewashed set
+    /// (sacrificed fakes send no spam to legitimate users).
+    pub requests_per_sender: usize,
+    /// Rejection rate of those internal requests (the Fig 14 sweep axis).
+    pub rejection_rate: f64,
+}
+
+/// Parameters of the §VI-A simulation protocol. Defaults are the paper's
+/// baseline; the experiment harnesses sweep one field at a time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// Number of injected fake accounts (paper: 10,000).
+    pub num_fakes: usize,
+    /// Accepted intra-fake requests per arriving fake (paper: 6;
+    /// Fig 13 sweeps this as the collusion axis, 0–40).
+    pub fake_intra_edges: usize,
+    /// Fraction of fakes that send spam to legitimate users (Fig 10: 0.5).
+    pub spammer_fraction: f64,
+    /// Spam requests per spamming fake (paper: 20; Fig 9 sweeps 5–50).
+    pub requests_per_spammer: usize,
+    /// Rejection rate of spam requests by legitimate users (paper: 0.70,
+    /// from the RenRen measurement; Fig 11 sweeps it).
+    pub spam_rejection_rate: f64,
+    /// Rejection rate among legitimate users (paper: 0.20; Fig 12 sweeps).
+    pub legit_rejection_rate: f64,
+    /// Fraction of legitimate users that carelessly send one accepted
+    /// request into the Sybil region (paper: 0.15).
+    pub careless_fraction: f64,
+    /// Optional self-rejection strategy (Fig 14).
+    pub self_rejection: Option<SelfRejectionConfig>,
+    /// Requests from random legitimate users to fakes that the fakes
+    /// reject, i.e. rejections cast **on** legitimate users (Fig 15 sweeps
+    /// 16K–160K at paper scale).
+    pub legit_requests_rejected_by_fakes: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            num_fakes: 10_000,
+            fake_intra_edges: 6,
+            spammer_fraction: 1.0,
+            requests_per_spammer: 20,
+            spam_rejection_rate: 0.70,
+            legit_rejection_rate: 0.20,
+            careless_fraction: 0.15,
+            self_rejection: None,
+            legit_requests_rejected_by_fakes: 0,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.spammer_fraction), "spammer_fraction out of [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&self.spam_rejection_rate),
+            "spam_rejection_rate out of [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.legit_rejection_rate) && self.legit_rejection_rate < 1.0,
+            "legit_rejection_rate out of [0,1)"
+        );
+        assert!((0.0..=1.0).contains(&self.careless_fraction), "careless_fraction out of [0,1]");
+        if let Some(sr) = &self.self_rejection {
+            assert!(sr.whitewashed <= self.num_fakes, "whitewashed exceeds num_fakes");
+            assert!(
+                (0.0..=1.0).contains(&sr.rejection_rate),
+                "self-rejection rate out of [0,1]"
+            );
+        }
+    }
+}
+
+/// The simulated OSN produced by [`Scenario::run`].
+#[derive(Debug, Clone)]
+pub struct SimOutput {
+    /// The rejection-augmented social graph (host graph + Sybil region +
+    /// all request outcomes).
+    pub graph: AugmentedGraph,
+    /// The directed friend-request log (VoteTrust's input). Pre-existing
+    /// host friendships are logged as accepted requests with a random
+    /// historical direction.
+    pub log: RequestLog,
+    /// Ground truth: `is_fake[u]`.
+    pub is_fake: Vec<bool>,
+    /// Ids of the fakes that sent spam to legitimate users.
+    pub spammers: Vec<NodeId>,
+    /// Ids of all fakes (`num_legit..num_legit + num_fakes`).
+    pub fakes: Vec<NodeId>,
+    /// Number of legitimate users (the host-graph nodes, `0..num_legit`).
+    pub num_legit: usize,
+}
+
+impl SimOutput {
+    /// Ground-truth mask sliced as `&[bool]` (indexed by node id).
+    pub fn is_fake_mask(&self) -> &[bool] {
+        &self.is_fake
+    }
+
+    /// Number of attack edges (friendships straddling the fake/legit
+    /// boundary).
+    pub fn attack_edges(&self) -> u64 {
+        let mut n = 0u64;
+        for u in self.graph.nodes() {
+            if !self.is_fake[u.index()] {
+                continue;
+            }
+            for &v in self.graph.friends(u) {
+                if !self.is_fake[v.index()] {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+/// Deterministic scenario runner; see [`ScenarioConfig`] for the knobs.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    config: ScenarioConfig,
+}
+
+impl Scenario {
+    /// Creates a runner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (rates outside `[0, 1]`,
+    /// whitewashed count exceeding `num_fakes`).
+    pub fn new(config: ScenarioConfig) -> Self {
+        config.validate();
+        Scenario { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// Simulates the attack on `host` (its nodes are the legitimate users),
+    /// deterministically from `seed`.
+    pub fn run(&self, host: &Graph, seed: u64) -> SimOutput {
+        let cfg = &self.config;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let num_legit = host.num_nodes();
+        let total = num_legit + cfg.num_fakes;
+        let mut log = RequestLog::new(total);
+
+        // Host friendships as historical accepted requests. Directions are
+        // balanced per user (whoever has sent fewer so far initiates, ties
+        // random) — over time both parties of a friendship circle initiate,
+        // and this keeps every user's sent-request count near deg/2 instead
+        // of leaving a Binomial tail of users who "never sent anything".
+        let mut sent_count = vec![0u32; total];
+        for (u, v) in host.edges() {
+            let u_first = match sent_count[u.index()].cmp(&sent_count[v.index()]) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => rng.gen_bool(0.5),
+            };
+            let (from, to) = if u_first { (u, v) } else { (v, u) };
+            sent_count[from.index()] += 1;
+            log.push(from, to, true);
+        }
+
+        let fakes: Vec<NodeId> =
+            (num_legit..total).map(NodeId::from_index).collect();
+
+        // Under self-rejection, split fakes into the whitewashed (who keep
+        // spamming legitimate users) and the sacrificed internal senders
+        // (who do not).
+        let whitewashed_count = cfg.self_rejection.map_or(0, |sr| sr.whitewashed);
+        let (whitewashed, sacrificed): (Vec<NodeId>, Vec<NodeId>) = {
+            let mut shuffled = fakes.clone();
+            shuffled.shuffle(&mut rng);
+            let w = shuffled[..whitewashed_count].to_vec();
+            let r = shuffled[whitewashed_count..].to_vec();
+            (w, r)
+        };
+
+        // Sybil-region topology: each arriving fake sends accepted requests
+        // to `fake_intra_edges` random earlier fakes.
+        for (i, &f) in fakes.iter().enumerate() {
+            if i == 0 {
+                continue;
+            }
+            let want = cfg.fake_intra_edges.min(i);
+            let mut targets: Vec<usize> = (0..i).collect();
+            targets.shuffle(&mut rng);
+            for &t in targets.iter().take(want) {
+                log.push(f, fakes[t], true);
+            }
+        }
+
+        // Spamming subset. With self-rejection active, only the
+        // whitewashed accounts spam legitimate users (the sacrificed fakes
+        // spend their requests internally); otherwise all fakes are in the
+        // pool.
+        let spam_pool: &[NodeId] =
+            if cfg.self_rejection.is_some() { &whitewashed } else { &fakes };
+        let spam_count = (spam_pool.len() as f64 * cfg.spammer_fraction).round() as usize;
+        let mut spammers: Vec<NodeId> = {
+            let mut pool = spam_pool.to_vec();
+            pool.shuffle(&mut rng);
+            pool.truncate(spam_count.min(pool.len()));
+            pool
+        };
+        spammers.sort_unstable();
+
+        // Friend spam toward legitimate users.
+        if num_legit > 0 {
+            for &s in &spammers {
+                let mut sent: Vec<NodeId> = Vec::with_capacity(cfg.requests_per_spammer);
+                while sent.len() < cfg.requests_per_spammer.min(num_legit) {
+                    let t = NodeId(rng.gen_range(0..num_legit as u32));
+                    if sent.contains(&t) {
+                        continue;
+                    }
+                    sent.push(t);
+                    let accepted = !rng.gen_bool(cfg.spam_rejection_rate);
+                    log.push(s, t, accepted);
+                }
+            }
+        }
+
+        // Careless legitimate users: one accepted request into the region.
+        if !fakes.is_empty() {
+            let careless = (num_legit as f64 * cfg.careless_fraction).round() as usize;
+            let mut legit_ids: Vec<u32> = (0..num_legit as u32).collect();
+            legit_ids.shuffle(&mut rng);
+            for &u in legit_ids.iter().take(careless) {
+                let f = fakes[rng.gen_range(0..fakes.len())];
+                log.push(NodeId(u), f, true);
+            }
+        }
+
+        // Rejections among legitimate users: user u's rejected-request count
+        // is derived from the requests he sent (≈ his accepted friendships
+        // he initiated) and the legit rejection rate: r/(r + sent) = ρ ⇒
+        // r = sent·ρ/(1−ρ). Origins are random non-friend legitimate users.
+        let rho = cfg.legit_rejection_rate;
+        if rho > 0.0 && num_legit > 1 {
+            let scale = rho / (1.0 - rho);
+            for u in host.nodes() {
+                let expected = sent_count[u.index()] as f64 * scale;
+                let mut count = expected.floor() as usize;
+                if rng.gen_bool(expected - count as f64) {
+                    count += 1;
+                }
+                let mut placed = 0usize;
+                let mut guard = 0usize;
+                while placed < count && guard < 20 * count + 20 {
+                    guard += 1;
+                    let x = NodeId(rng.gen_range(0..num_legit as u32));
+                    if x == u || host.has_edge(u, x) {
+                        continue;
+                    }
+                    log.push(u, x, false);
+                    placed += 1;
+                }
+            }
+        }
+
+        // Self-rejection whitewashing (Fig 14): sacrificed fakes send
+        // internal requests; whitewashed fakes reject them at the crafted
+        // rate, mimicking how legitimate users treat spam.
+        if let Some(sr) = cfg.self_rejection {
+            if !whitewashed.is_empty() {
+                for &s in &sacrificed {
+                    for _ in 0..sr.requests_per_sender {
+                        let t = whitewashed[rng.gen_range(0..whitewashed.len())];
+                        let accepted = !rng.gen_bool(sr.rejection_rate);
+                        log.push(s, t, accepted);
+                    }
+                }
+            }
+        }
+
+        // Fakes rejecting legitimate users' requests (Fig 15). Requests
+        // are spread round-robin over a shuffled legit population so every
+        // legitimate user carries a near-equal share (no artificial
+        // high-rejection subgroup).
+        if !fakes.is_empty() && num_legit > 0 && cfg.legit_requests_rejected_by_fakes > 0 {
+            let mut order: Vec<u32> = (0..num_legit as u32).collect();
+            order.shuffle(&mut rng);
+            for i in 0..cfg.legit_requests_rejected_by_fakes {
+                let u = NodeId(order[(i % num_legit as u64) as usize]);
+                let f = fakes[rng.gen_range(0..fakes.len())];
+                log.push(u, f, false);
+            }
+        }
+
+        let mut is_fake = vec![false; total];
+        for &f in &fakes {
+            is_fake[f.index()] = true;
+        }
+        let graph = log.to_augmented_graph();
+        SimOutput { graph, log, is_fake, spammers, fakes, num_legit }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialgraph::generators::BarabasiAlbert;
+
+    fn host(n: usize) -> Graph {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        BarabasiAlbert::new(n, 4).generate(&mut rng)
+    }
+
+    fn small_config() -> ScenarioConfig {
+        ScenarioConfig { num_fakes: 40, requests_per_spammer: 10, ..ScenarioConfig::default() }
+    }
+
+    #[test]
+    fn ground_truth_matches_layout() {
+        let sim = Scenario::new(small_config()).run(&host(300), 1);
+        assert_eq!(sim.num_legit, 300);
+        assert_eq!(sim.fakes.len(), 40);
+        assert!(sim.is_fake[300] && sim.is_fake[339]);
+        assert!(!sim.is_fake[0] && !sim.is_fake[299]);
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let h = host(200);
+        let a = Scenario::new(small_config()).run(&h, 7);
+        let b = Scenario::new(small_config()).run(&h, 7);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.log, b.log);
+        let c = Scenario::new(small_config()).run(&h, 8);
+        assert_ne!(a.log, c.log);
+    }
+
+    #[test]
+    fn spam_rejection_rate_is_respected_in_aggregate() {
+        let sim = Scenario::new(ScenarioConfig {
+            num_fakes: 100,
+            requests_per_spammer: 20,
+            spam_rejection_rate: 0.7,
+            careless_fraction: 0.0,
+            legit_rejection_rate: 0.0,
+            ..ScenarioConfig::default()
+        })
+        .run(&host(500), 3);
+        // Rejections received by fakes from legit ÷ spam volume ≈ 0.7.
+        let mut rejected = 0usize;
+        let mut total = 0usize;
+        for r in sim.log.requests() {
+            if sim.is_fake[r.from.index()] && !sim.is_fake[r.to.index()] {
+                total += 1;
+                if !r.accepted {
+                    rejected += 1;
+                }
+            }
+        }
+        assert_eq!(total, 100 * 20);
+        let rate = rejected as f64 / total as f64;
+        assert!((rate - 0.7).abs() < 0.05, "empirical spam rejection rate {rate}");
+    }
+
+    #[test]
+    fn half_spammer_fraction_halves_senders() {
+        let sim = Scenario::new(ScenarioConfig {
+            num_fakes: 100,
+            spammer_fraction: 0.5,
+            ..ScenarioConfig::default()
+        })
+        .run(&host(300), 4);
+        assert_eq!(sim.spammers.len(), 50);
+        // Non-spamming fakes still have intra-fake friendships.
+        let silent = sim.fakes.iter().find(|f| !sim.spammers.contains(f)).unwrap();
+        assert!(sim.graph.friend_degree(*silent) > 0);
+    }
+
+    #[test]
+    fn collusion_densifies_the_fake_region() {
+        let base = Scenario::new(ScenarioConfig {
+            num_fakes: 60,
+            fake_intra_edges: 4,
+            ..ScenarioConfig::default()
+        })
+        .run(&host(200), 5);
+        let dense = Scenario::new(ScenarioConfig {
+            num_fakes: 60,
+            fake_intra_edges: 30,
+            ..ScenarioConfig::default()
+        })
+        .run(&host(200), 5);
+        let intra = |sim: &SimOutput| -> u64 {
+            sim.fakes
+                .iter()
+                .map(|&f| {
+                    sim.graph.friends(f).iter().filter(|v| sim.is_fake[v.index()]).count() as u64
+                })
+                .sum::<u64>()
+                / 2
+        };
+        assert!(intra(&dense) > 3 * intra(&base));
+    }
+
+    #[test]
+    fn self_rejection_sacrifices_internal_senders() {
+        let sim = Scenario::new(ScenarioConfig {
+            num_fakes: 60,
+            self_rejection: Some(SelfRejectionConfig {
+                whitewashed: 30,
+                requests_per_sender: 10,
+                rejection_rate: 0.8,
+            }),
+            ..ScenarioConfig::default()
+        })
+        .run(&host(200), 6);
+        // Only the whitewashed accounts spam legitimate users.
+        assert_eq!(sim.spammers.len(), 30);
+        // The sacrificed fakes got rejected by the whitewashed ⇒ internal
+        // fake-to-fake rejections exist, all landing on non-spammers.
+        let mut internal_rejections = 0usize;
+        for &f in &sim.fakes {
+            let from_fakes = sim
+                .graph
+                .rejectors_of(f)
+                .iter()
+                .filter(|r| sim.is_fake[r.index()])
+                .count();
+            if from_fakes > 0 {
+                assert!(
+                    !sim.spammers.contains(&f),
+                    "whitewashed (spamming) fake {f} received internal rejections"
+                );
+            }
+            internal_rejections += from_fakes;
+        }
+        assert!(internal_rejections > 0);
+        // Sacrificed fakes never sent a request to a legit user.
+        for r in sim.log.requests() {
+            if sim.is_fake[r.from.index()]
+                && !sim.is_fake[r.to.index()]
+                && !sim.spammers.contains(&r.from)
+            {
+                panic!("sacrificed fake {} sent spam", r.from);
+            }
+        }
+    }
+
+    #[test]
+    fn legit_rejections_scale_with_rate() {
+        let lo = Scenario::new(ScenarioConfig {
+            num_fakes: 10,
+            legit_rejection_rate: 0.1,
+            ..ScenarioConfig::default()
+        })
+        .run(&host(400), 7);
+        let hi = Scenario::new(ScenarioConfig {
+            num_fakes: 10,
+            legit_rejection_rate: 0.5,
+            ..ScenarioConfig::default()
+        })
+        .run(&host(400), 7);
+        let legit_rej = |sim: &SimOutput| {
+            sim.log
+                .requests()
+                .iter()
+                .filter(|r| {
+                    !r.accepted && !sim.is_fake[r.from.index()] && !sim.is_fake[r.to.index()]
+                })
+                .count()
+        };
+        assert!(legit_rej(&hi) > 3 * legit_rej(&lo));
+    }
+
+    #[test]
+    fn fig15_knob_adds_rejections_on_legit() {
+        let sim = Scenario::new(ScenarioConfig {
+            num_fakes: 20,
+            legit_requests_rejected_by_fakes: 500,
+            ..ScenarioConfig::default()
+        })
+        .run(&host(200), 8);
+        let on_legit: usize = (0..sim.num_legit)
+            .map(|u| {
+                sim.graph
+                    .rejectors_of(NodeId(u as u32))
+                    .iter()
+                    .filter(|r| sim.is_fake[r.index()])
+                    .count()
+            })
+            .sum();
+        // Duplicates collapse, so ≤ 500 but clearly present.
+        assert!(on_legit > 400, "got {on_legit}");
+    }
+
+    #[test]
+    fn attack_edges_count_straddling_friendships() {
+        let sim = Scenario::new(ScenarioConfig {
+            num_fakes: 50,
+            careless_fraction: 0.0,
+            spam_rejection_rate: 1.0,
+            legit_rejection_rate: 0.0,
+            ..ScenarioConfig::default()
+        })
+        .run(&host(200), 9);
+        // All spam rejected + no careless users ⇒ no attack edges.
+        assert_eq!(sim.attack_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "whitewashed exceeds num_fakes")]
+    fn validates_whitewashed_bound() {
+        let _ = Scenario::new(ScenarioConfig {
+            num_fakes: 5,
+            self_rejection: Some(SelfRejectionConfig {
+                whitewashed: 6,
+                requests_per_sender: 1,
+                rejection_rate: 0.5,
+            }),
+            ..ScenarioConfig::default()
+        });
+    }
+}
+
+#[cfg(test)]
+mod fig15_tests {
+    use super::*;
+    use rand_chacha::ChaCha8Rng;
+    use socialgraph::generators::BarabasiAlbert;
+
+    #[test]
+    fn fig15_rejections_are_spread_evenly_over_legit_users() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let host = BarabasiAlbert::new(400, 4).generate(&mut rng);
+        let sim = Scenario::new(ScenarioConfig {
+            num_fakes: 50,
+            legit_requests_rejected_by_fakes: 1_200, // 3 per legit user
+            legit_rejection_rate: 0.0,
+            ..ScenarioConfig::default()
+        })
+        .run(&host, 9);
+        // Count rejections each legit user received from fakes.
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        for u in 0..sim.num_legit {
+            let from_fakes = sim
+                .graph
+                .rejectors_of(NodeId(u as u32))
+                .iter()
+                .filter(|r| sim.is_fake[r.index()])
+                .count();
+            min = min.min(from_fakes);
+            max = max.max(from_fakes);
+        }
+        // Round-robin placement: every user within one of the mean (some
+        // loss to duplicate-edge collapsing is tolerated on the low side).
+        assert!(max <= 4, "max per-user rejections {max}");
+        assert!(min >= 1, "min per-user rejections {min}");
+    }
+
+    #[test]
+    fn sent_requests_are_balanced_per_user() {
+        let mut rng = ChaCha8Rng::seed_from_u64(78);
+        let host = BarabasiAlbert::new(300, 4).generate(&mut rng);
+        let sim = Scenario::new(ScenarioConfig {
+            num_fakes: 10,
+            legit_rejection_rate: 0.0,
+            careless_fraction: 0.0,
+            ..ScenarioConfig::default()
+        })
+        .run(&host, 10);
+        // Accepted host requests sent by each legit user ≈ deg/2 ± 1.
+        let mut sent = vec![0usize; sim.num_legit];
+        for r in sim.log.requests() {
+            if !sim.is_fake[r.from.index()] && !sim.is_fake[r.to.index()] && r.accepted {
+                sent[r.from.index()] += 1;
+            }
+        }
+        // The greedy assignment is order-local, so hubs can end up sending
+        // far fewer than deg/2 — that is fine. The property that matters
+        // for the VoteTrust baseline is the absence of a zero-sender tail:
+        // every connected user has at least one accepted sent request, so
+        // nobody's rating collapses to 0 from sheer direction bad luck.
+        for u in host.nodes() {
+            let deg = host.degree(u);
+            let s = sent[u.index()];
+            assert!(s >= 1, "user {u} with degree {deg} sent nothing");
+            assert!(s <= deg, "user {u}: sent {s} exceeds degree {deg}");
+        }
+        let total: usize = sent.iter().sum();
+        assert_eq!(total as u64, host.num_edges(), "every edge sent exactly once");
+    }
+}

@@ -1,0 +1,136 @@
+use crate::SimOutput;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use socialgraph::NodeId;
+
+/// Samples the OSN provider's prior knowledge (§III-B): `num_legit` random
+/// legitimate users and `num_spammer` random spamming fakes, as uncovered
+/// by manual inspection of sampled accounts.
+///
+/// Returns `(legit, spammer)` id vectors, each sorted ascending and capped
+/// at the available population; callers wrap them in `rejecto_core::Seeds`.
+pub fn sample_seeds<R: Rng + ?Sized>(
+    sim: &SimOutput,
+    num_legit: usize,
+    num_spammer: usize,
+    rng: &mut R,
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    let mut legit: Vec<NodeId> = (0..sim.num_legit).map(NodeId::from_index).collect();
+    legit.shuffle(rng);
+    legit.truncate(num_legit);
+    legit.sort_unstable();
+
+    let mut spammer = sim.spammers.clone();
+    spammer.shuffle(rng);
+    spammer.truncate(num_spammer);
+    spammer.sort_unstable();
+
+    (legit, spammer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Scenario, ScenarioConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use socialgraph::generators::BarabasiAlbert;
+
+    fn sim() -> SimOutput {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let host = BarabasiAlbert::new(200, 3).generate(&mut rng);
+        Scenario::new(ScenarioConfig { num_fakes: 30, ..ScenarioConfig::default() })
+            .run(&host, 2)
+    }
+
+    #[test]
+    fn seeds_come_from_the_right_classes() {
+        let sim = sim();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let (legit, spammer) = sample_seeds(&sim, 10, 5, &mut rng);
+        assert_eq!(legit.len(), 10);
+        assert_eq!(spammer.len(), 5);
+        for s in &legit {
+            assert!(!sim.is_fake[s.index()]);
+        }
+        for s in &spammer {
+            assert!(sim.spammers.contains(s));
+        }
+    }
+
+    #[test]
+    fn oversampling_is_capped() {
+        let sim = sim();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let (_, spammer) = sample_seeds(&sim, 0, 10_000, &mut rng);
+        assert_eq!(spammer.len(), sim.spammers.len());
+    }
+
+    #[test]
+    fn seed_lists_are_sorted_and_unique() {
+        let sim = sim();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let (legit, _) = sample_seeds(&sim, 50, 0, &mut rng);
+        let mut sorted = legit.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(legit, sorted);
+    }
+}
+
+/// Community-aware variant of [`sample_seeds`] (§IV-F: "community-based
+/// seed selection as in SybilRank"): legitimate seeds are spread one per
+/// community of the *host* graph (label propagation), so every legitimate
+/// community is anchored and spurious intra-legit cuts conflict with a
+/// pinned seed. Spammer seeds are sampled as in [`sample_seeds`].
+///
+/// `host` must be the legitimate host graph (`sim.num_legit` nodes).
+///
+/// # Panics
+///
+/// Panics if `host.num_nodes() != sim.num_legit`.
+pub fn sample_seeds_community<R: Rng + ?Sized>(
+    sim: &SimOutput,
+    host: &socialgraph::Graph,
+    num_legit: usize,
+    num_spammer: usize,
+    rng: &mut R,
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    assert_eq!(
+        host.num_nodes(),
+        sim.num_legit,
+        "host graph does not match the simulation's legitimate population"
+    );
+    let communities = socialgraph::communities::label_propagation(host, 16, rng);
+    let legit = socialgraph::communities::spread_seeds(host, &communities, num_legit, rng);
+
+    let mut spammer = sim.spammers.clone();
+    spammer.shuffle(rng);
+    spammer.truncate(num_spammer);
+    spammer.sort_unstable();
+    (legit, spammer)
+}
+
+#[cfg(test)]
+mod community_tests {
+    use super::*;
+    use crate::{Scenario, ScenarioConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use socialgraph::generators::BarabasiAlbert;
+
+    #[test]
+    fn community_seeds_are_legit_and_capped() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let host = BarabasiAlbert::new(200, 3).generate(&mut rng);
+        let sim = Scenario::new(ScenarioConfig { num_fakes: 30, ..ScenarioConfig::default() })
+            .run(&host, 2);
+        let (legit, spammer) = sample_seeds_community(&sim, &host, 15, 5, &mut rng);
+        assert!(legit.len() <= 15);
+        assert!(!legit.is_empty());
+        for s in &legit {
+            assert!(!sim.is_fake[s.index()]);
+        }
+        assert_eq!(spammer.len(), 5);
+    }
+}

@@ -1,0 +1,302 @@
+//! Time-sharded request simulation for compromised-account detection
+//! (§VII, "Application to the detection of other malicious accounts").
+//!
+//! The paper: an OSN "can shard friend requests and rejections according
+//! to the time intervals in which they have occurred, and then run Rejecto
+//! on an augmented graph constructed from the sharded requests and
+//! rejections in each interval. This enables Rejecto to detect compromised
+//! accounts in post-compromise intervals."
+//!
+//! [`Timeline`] simulates an OSN over discrete intervals: legitimate
+//! accounts send a modest organic request stream (mostly accepted); at the
+//! compromise interval, a subset of accounts is taken over and starts
+//! friend-spamming. [`Timeline::interval_graph`] builds the per-interval
+//! augmented graph for the detector.
+
+use crate::RequestLog;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rejection::AugmentedGraph;
+use socialgraph::{Graph, NodeId};
+
+/// Configuration of the compromised-account timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineConfig {
+    /// Number of discrete time intervals.
+    pub intervals: usize,
+    /// Interval at which the compromise happens (0-based); accounts behave
+    /// organically before it.
+    pub compromise_at: usize,
+    /// How many accounts get compromised.
+    pub num_compromised: usize,
+    /// Organic requests per account per interval (Poisson-ish via
+    /// stochastic rounding).
+    pub organic_rate: f64,
+    /// Rejection rate of organic requests.
+    pub organic_rejection_rate: f64,
+    /// Spam requests per compromised account per post-compromise interval.
+    pub spam_per_interval: usize,
+    /// Rejection rate of the spam requests.
+    pub spam_rejection_rate: f64,
+}
+
+impl Default for TimelineConfig {
+    fn default() -> Self {
+        TimelineConfig {
+            intervals: 6,
+            compromise_at: 3,
+            num_compromised: 50,
+            organic_rate: 4.0,
+            organic_rejection_rate: 0.2,
+            spam_per_interval: 20,
+            spam_rejection_rate: 0.7,
+        }
+    }
+}
+
+/// A request stamped with its interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedRequest {
+    /// 0-based interval index.
+    pub interval: usize,
+    /// Sender.
+    pub from: NodeId,
+    /// Recipient.
+    pub to: NodeId,
+    /// Whether the recipient accepted.
+    pub accepted: bool,
+}
+
+/// The simulated timeline.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    num_nodes: usize,
+    intervals: usize,
+    requests: Vec<TimedRequest>,
+    compromised: Vec<NodeId>,
+    compromise_at: usize,
+}
+
+impl Timeline {
+    /// Simulates the timeline over the users of `host` (friendship
+    /// structure is used to pick plausible organic request targets:
+    /// friends-of-friends when available).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is inconsistent (compromise interval or count
+    /// out of range, rates outside `[0, 1]`).
+    pub fn simulate(host: &Graph, config: &TimelineConfig, seed: u64) -> Timeline {
+        assert!(config.intervals > 0, "need at least one interval");
+        assert!(config.compromise_at < config.intervals, "compromise interval out of range");
+        assert!(config.num_compromised <= host.num_nodes(), "too many compromised accounts");
+        assert!(
+            (0.0..=1.0).contains(&config.organic_rejection_rate)
+                && (0.0..=1.0).contains(&config.spam_rejection_rate),
+            "rates must be in [0, 1]"
+        );
+        let n = host.num_nodes();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+        let mut ids: Vec<NodeId> = host.nodes().collect();
+        ids.shuffle(&mut rng);
+        let mut compromised = ids[..config.num_compromised].to_vec();
+        compromised.sort_unstable();
+        let is_compromised: Vec<bool> = {
+            let mut m = vec![false; n];
+            for c in &compromised {
+                m[c.index()] = true;
+            }
+            m
+        };
+
+        let mut requests = Vec::new();
+        for t in 0..config.intervals {
+            for u in host.nodes() {
+                // Organic behavior (compromised accounts stop acting
+                // organically once taken over).
+                let active_compromised =
+                    is_compromised[u.index()] && t >= config.compromise_at;
+                if !active_compromised {
+                    let mut count = config.organic_rate.floor() as usize;
+                    if rng.gen_bool(config.organic_rate - count as f64) {
+                        count += 1;
+                    }
+                    for _ in 0..count {
+                        let target = organic_target(host, u, &mut rng);
+                        if target == u {
+                            continue;
+                        }
+                        let accepted = !rng.gen_bool(config.organic_rejection_rate);
+                        requests.push(TimedRequest { interval: t, from: u, to: target, accepted });
+                    }
+                } else {
+                    for _ in 0..config.spam_per_interval {
+                        let target = NodeId(rng.gen_range(0..n as u32));
+                        if target == u {
+                            continue;
+                        }
+                        let accepted = !rng.gen_bool(config.spam_rejection_rate);
+                        requests.push(TimedRequest { interval: t, from: u, to: target, accepted });
+                    }
+                }
+            }
+        }
+
+        Timeline {
+            num_nodes: n,
+            intervals: config.intervals,
+            requests,
+            compromised,
+            compromise_at: config.compromise_at,
+        }
+    }
+
+    /// Number of users.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of intervals.
+    pub fn intervals(&self) -> usize {
+        self.intervals
+    }
+
+    /// All requests, stamped.
+    pub fn requests(&self) -> &[TimedRequest] {
+        &self.requests
+    }
+
+    /// The compromised accounts (ground truth), ascending.
+    pub fn compromised(&self) -> &[NodeId] {
+        &self.compromised
+    }
+
+    /// The interval at which the compromise happened.
+    pub fn compromise_at(&self) -> usize {
+        self.compromise_at
+    }
+
+    /// Ground-truth mask.
+    pub fn is_compromised_mask(&self) -> Vec<bool> {
+        let mut m = vec![false; self.num_nodes];
+        for c in &self.compromised {
+            m[c.index()] = true;
+        }
+        m
+    }
+
+    /// The augmented graph of one interval's requests (the §VII shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval >= self.intervals()`.
+    pub fn interval_graph(&self, interval: usize) -> AugmentedGraph {
+        assert!(interval < self.intervals, "interval {interval} out of range");
+        let mut log = RequestLog::new(self.num_nodes);
+        for r in &self.requests {
+            if r.interval == interval {
+                log.push(r.from, r.to, r.accepted);
+            }
+        }
+        log.to_augmented_graph()
+    }
+}
+
+/// Organic requests target friends-of-friends when the sender has any
+/// (people you plausibly know), otherwise uniform strangers.
+fn organic_target<R: Rng + ?Sized>(host: &Graph, u: NodeId, rng: &mut R) -> NodeId {
+    let nbrs = host.neighbors(u);
+    if !nbrs.is_empty() {
+        let via = nbrs[rng.gen_range(0..nbrs.len())];
+        let second = host.neighbors(via);
+        if !second.is_empty() {
+            let t = second[rng.gen_range(0..second.len())];
+            if t != u {
+                return t;
+            }
+        }
+    }
+    NodeId(rng.gen_range(0..host.num_nodes() as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialgraph::generators::BarabasiAlbert;
+
+    fn host() -> Graph {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        BarabasiAlbert::new(300, 4).generate(&mut rng)
+    }
+
+    fn config() -> TimelineConfig {
+        TimelineConfig { num_compromised: 30, ..TimelineConfig::default() }
+    }
+
+    #[test]
+    fn pre_compromise_intervals_are_clean() {
+        let tl = Timeline::simulate(&host(), &config(), 1);
+        let mask = tl.is_compromised_mask();
+        for t in 0..tl.compromise_at() {
+            let g = tl.interval_graph(t);
+            // Compromised accounts behave organically before the takeover:
+            // their rejection load matches the population's.
+            let spam_rejections: usize = tl
+                .compromised()
+                .iter()
+                .map(|&c| g.rejections_received(c))
+                .sum();
+            let avg = spam_rejections as f64 / tl.compromised().len() as f64;
+            assert!(avg < 1.5, "interval {t}: avg rejections {avg}");
+        }
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 30);
+    }
+
+    #[test]
+    fn post_compromise_intervals_carry_the_spam_signature() {
+        let cfg = config();
+        let tl = Timeline::simulate(&host(), &cfg, 2);
+        let g = tl.interval_graph(cfg.compromise_at);
+        let avg_rejections: f64 = tl
+            .compromised()
+            .iter()
+            .map(|&c| g.rejections_received(c) as f64)
+            .sum::<f64>()
+            / tl.compromised().len() as f64;
+        // ≈ spam_per_interval × spam_rejection_rate = 14.
+        assert!(avg_rejections > 8.0, "avg post-compromise rejections {avg_rejections}");
+    }
+
+    #[test]
+    fn interval_graphs_partition_the_requests() {
+        let tl = Timeline::simulate(&host(), &config(), 3);
+        let total: u64 = (0..tl.intervals())
+            .map(|t| {
+                let g = tl.interval_graph(t);
+                g.num_friendships() + g.num_rejections()
+            })
+            .sum();
+        // Dedup within intervals makes this <= raw count, but it must be
+        // positive and close.
+        assert!(total > 0);
+        assert!(total <= tl.requests().len() as u64);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = Timeline::simulate(&host(), &config(), 9);
+        let b = Timeline::simulate(&host(), &config(), 9);
+        assert_eq!(a.requests(), b.requests());
+        assert_eq!(a.compromised(), b.compromised());
+    }
+
+    #[test]
+    #[should_panic(expected = "compromise interval out of range")]
+    fn validates_compromise_interval() {
+        let cfg = TimelineConfig { compromise_at: 9, intervals: 4, ..config() };
+        let _ = Timeline::simulate(&host(), &cfg, 1);
+    }
+}

@@ -1,0 +1,72 @@
+use std::fmt;
+use std::io;
+
+/// Errors produced by graph construction and I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id referenced a node outside `0..num_nodes`.
+    NodeOutOfRange {
+        /// The offending id value.
+        node: u32,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// An edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The unparsable content.
+        content: String,
+    },
+    /// Underlying I/O failure while reading or writing an edge list.
+    Io(io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node id {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::Parse { line, content } => {
+                write!(f, "cannot parse edge-list line {line}: {content:?}")
+            }
+            GraphError::Io(e) => write!(f, "edge-list i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ids() {
+        let e = GraphError::NodeOutOfRange { node: 9, num_nodes: 5 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e = GraphError::from(io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,142 @@
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Barabási–Albert preferential-attachment generator (scale-free).
+///
+/// This is the model the paper's "Synthetic" Table-I row is generated
+/// from ("generated based on the scale-free model \[14\]"). Each arriving
+/// node attaches `m` edges to existing nodes with probability proportional
+/// to their degree.
+///
+/// ```
+/// use socialgraph::generators::BarabasiAlbert;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let g = BarabasiAlbert::new(500, 3).generate(&mut rng);
+/// // m edges per node after the seed clique:
+/// assert!(g.num_edges() >= 3 * (500 - 4) as u64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarabasiAlbert {
+    n: usize,
+    m: usize,
+}
+
+impl BarabasiAlbert {
+    /// Configures a generator for `n` nodes with `m` attachments per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `n <= m`.
+    pub fn new(n: usize, m: usize) -> Self {
+        assert!(m > 0, "attachment count m must be positive");
+        assert!(n > m, "need more nodes ({n}) than attachments per node ({m})");
+        BarabasiAlbert { n, m }
+    }
+
+    /// Number of nodes generated.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Attachments per arriving node.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Generates a graph.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Graph {
+        let mut b = GraphBuilder::new(self.n);
+        // `endpoints` holds each node id once per incident edge, so sampling
+        // a uniform element is degree-proportional sampling.
+        let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * self.n * self.m);
+
+        // Seed: a clique on the first m+1 nodes.
+        for u in 0..=self.m {
+            for v in (u + 1)..=self.m {
+                b.add_edge(NodeId(u as u32), NodeId(v as u32));
+                endpoints.push(NodeId(u as u32));
+                endpoints.push(NodeId(v as u32));
+            }
+        }
+
+        for u in (self.m + 1)..self.n {
+            let u = NodeId(u as u32);
+            let mut added = 0usize;
+            let mut guard = 0usize;
+            while added < self.m {
+                let t = endpoints[rng.gen_range(0..endpoints.len())];
+                guard += 1;
+                if b.add_edge(u, t) {
+                    endpoints.push(u);
+                    endpoints.push(t);
+                    added += 1;
+                } else if guard > 50 * self.m {
+                    // All degree mass is on nodes we already hit; fall back
+                    // to a uniform untried node to guarantee progress.
+                    let t = NodeId(rng.gen_range(0..u.0));
+                    if b.add_edge(u, t) {
+                        endpoints.push(u);
+                        endpoints.push(t);
+                        added += 1;
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn generates_requested_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = BarabasiAlbert::new(200, 4).generate(&mut rng);
+        assert_eq!(g.num_nodes(), 200);
+        // clique(5) + 4 per remaining node
+        assert_eq!(g.num_edges(), 10 + 4 * 195);
+    }
+
+    #[test]
+    fn every_non_seed_node_has_degree_at_least_m() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = BarabasiAlbert::new(300, 3).generate(&mut rng);
+        for u in g.nodes() {
+            assert!(g.degree(u) >= 3, "node {u} has degree {}", g.degree(u));
+        }
+    }
+
+    #[test]
+    fn is_deterministic_for_a_seed() {
+        let g1 = BarabasiAlbert::new(150, 2).generate(&mut ChaCha8Rng::seed_from_u64(9));
+        let g2 = BarabasiAlbert::new(150, 2).generate(&mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = BarabasiAlbert::new(2_000, 3).generate(&mut rng);
+        let max_deg = g.nodes().map(|u| g.degree(u)).max().unwrap();
+        // A scale-free graph grows hubs far above the mean degree (~6).
+        assert!(max_deg > 40, "max degree {max_deg} not hub-like");
+    }
+
+    #[test]
+    #[should_panic(expected = "m must be positive")]
+    fn rejects_zero_m() {
+        let _ = BarabasiAlbert::new(10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes")]
+    fn rejects_tiny_n() {
+        let _ = BarabasiAlbert::new(3, 3);
+    }
+}

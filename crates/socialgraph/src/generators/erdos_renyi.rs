@@ -1,0 +1,81 @@
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, m)` generator: exactly `m` uniform random edges.
+///
+/// Used as a null model in tests and ablations (no clustering, no degree
+/// skew).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErdosRenyi {
+    n: usize,
+    m: u64,
+}
+
+impl ErdosRenyi {
+    /// Configures a generator for `n` nodes and `m` edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `m` exceeds the number of possible edges.
+    pub fn new(n: usize, m: u64) -> Self {
+        assert!(n >= 2, "need at least two nodes");
+        let max = n as u64 * (n as u64 - 1) / 2;
+        assert!(m <= max, "requested {m} edges but only {max} are possible");
+        ErdosRenyi { n, m }
+    }
+
+    /// Number of nodes generated.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges generated.
+    pub fn m(&self) -> u64 {
+        self.m
+    }
+
+    /// Generates a graph.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Graph {
+        let mut b = GraphBuilder::new(self.n);
+        let mut placed = 0u64;
+        while placed < self.m {
+            let u = NodeId(rng.gen_range(0..self.n as u32));
+            let v = NodeId(rng.gen_range(0..self.n as u32));
+            if b.add_edge(u, v) {
+                placed += 1;
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn exact_edge_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = ErdosRenyi::new(100, 250).generate(&mut rng);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 250);
+    }
+
+    #[test]
+    fn can_generate_complete_graph() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = ErdosRenyi::new(6, 15).generate(&mut rng);
+        assert_eq!(g.num_edges(), 15);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "possible")]
+    fn rejects_too_many_edges() {
+        let _ = ErdosRenyi::new(4, 7);
+    }
+}

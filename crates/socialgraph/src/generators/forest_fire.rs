@@ -1,0 +1,153 @@
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Leskovec forest-fire growth model.
+///
+/// Each arriving node picks a uniform *ambassador*, then "burns" through the
+/// graph: from each burned node it burns a geometrically distributed number
+/// of yet-unburned neighbors (mean `p / (1 - p)`), recursively. The new node
+/// links to every burned node. Produces heavy-tailed degrees, high
+/// clustering, and community structure — the regime of the paper's
+/// forest-fire-sampled Facebook graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestFire {
+    n: usize,
+    burn_p: f64,
+    max_burn: usize,
+}
+
+impl ForestFire {
+    /// Configures a generator for `n` nodes with forward-burning probability
+    /// `burn_p`. `max_burn` caps how many nodes one arrival may link to
+    /// (keeps the super-critical regime from densifying into a clique).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `burn_p` is not in `[0, 1)`, or `max_burn == 0`.
+    pub fn new(n: usize, burn_p: f64, max_burn: usize) -> Self {
+        assert!(n > 0, "need at least one node");
+        assert!((0.0..1.0).contains(&burn_p), "burn_p must be in [0, 1)");
+        assert!(max_burn > 0, "max_burn must be positive");
+        ForestFire { n, burn_p, max_burn }
+    }
+
+    /// Number of nodes generated.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Forward-burning probability.
+    pub fn burn_p(&self) -> f64 {
+        self.burn_p
+    }
+
+    /// Per-arrival link cap.
+    pub fn max_burn(&self) -> usize {
+        self.max_burn
+    }
+
+    /// Generates a graph.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Graph {
+        let mut b = GraphBuilder::new(self.n);
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); self.n];
+        let mut burned_mark = vec![u32::MAX; self.n];
+
+        for u in 1..self.n {
+            let u_id = NodeId(u as u32);
+            let ambassador = NodeId(rng.gen_range(0..u as u32));
+            let mut frontier = vec![ambassador];
+            let mut burned: Vec<NodeId> = Vec::new();
+            burned_mark[ambassador.index()] = u as u32;
+
+            while let Some(w) = frontier.pop() {
+                burned.push(w);
+                if burned.len() >= self.max_burn {
+                    break;
+                }
+                // Burn Geometric(1 - p) neighbors of w, preferring unburned.
+                let mut to_burn = 0usize;
+                while rng.gen_bool(self.burn_p) {
+                    to_burn += 1;
+                    if to_burn >= self.max_burn {
+                        break;
+                    }
+                }
+                if to_burn == 0 {
+                    continue;
+                }
+                let unburned: Vec<NodeId> = adj[w.index()]
+                    .iter()
+                    .copied()
+                    .filter(|x| burned_mark[x.index()] != u as u32)
+                    .collect();
+                for _ in 0..to_burn.min(unburned.len()) {
+                    // Sample without replacement by marking immediately.
+                    let choices: Vec<&NodeId> = unburned
+                        .iter()
+                        .filter(|x| burned_mark[x.index()] != u as u32)
+                        .collect();
+                    if choices.is_empty() {
+                        break;
+                    }
+                    let pick = *choices[rng.gen_range(0..choices.len())];
+                    burned_mark[pick.index()] = u as u32;
+                    frontier.push(pick);
+                }
+            }
+
+            for w in burned {
+                if b.add_edge(u_id, w) {
+                    adj[u_id.index()].push(w);
+                    adj[w.index()].push(u_id);
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn generates_connected_growth() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = ForestFire::new(500, 0.35, 40).generate(&mut rng);
+        assert_eq!(g.num_nodes(), 500);
+        // Every arrival links to at least the ambassador.
+        assert!(g.num_edges() >= 499);
+        assert_eq!(metrics::connected_components(&g).len(), 1);
+    }
+
+    #[test]
+    fn higher_burn_probability_densifies() {
+        let sparse = ForestFire::new(800, 0.2, 60).generate(&mut ChaCha8Rng::seed_from_u64(2));
+        let dense = ForestFire::new(800, 0.5, 60).generate(&mut ChaCha8Rng::seed_from_u64(2));
+        assert!(dense.num_edges() > sparse.num_edges());
+    }
+
+    #[test]
+    fn produces_clustering() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = ForestFire::new(1_000, 0.45, 60).generate(&mut rng);
+        let cc = metrics::average_clustering(&g);
+        assert!(cc > 0.05, "forest fire should cluster, got {cc}");
+    }
+
+    #[test]
+    fn is_deterministic_for_a_seed() {
+        let g1 = ForestFire::new(300, 0.4, 30).generate(&mut ChaCha8Rng::seed_from_u64(4));
+        let g2 = ForestFire::new(300, 0.4, 30).generate(&mut ChaCha8Rng::seed_from_u64(4));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "burn_p")]
+    fn rejects_burn_probability_one() {
+        let _ = ForestFire::new(10, 1.0, 5);
+    }
+}

@@ -1,0 +1,148 @@
+//! Forest-fire sampling of an existing graph.
+//!
+//! The paper's Facebook graph "is a sample graph we obtained on Facebook via
+//! the 'forest fire' sampling method" (Leskovec & Faloutsos, KDD'06). This
+//! module implements that sampler so the same pipeline can be applied to any
+//! host graph.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Result of a sampling run: the induced subgraph plus the mapping from new
+/// ids to original ids.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// The induced subgraph over the sampled nodes, relabeled to `0..k`.
+    pub graph: Graph,
+    /// `original[i]` is the id the sampled node `i` had in the host graph.
+    pub original: Vec<NodeId>,
+}
+
+/// Forest-fire samples `target` nodes from `g` with forward-burning
+/// probability `burn_p`, then returns the induced subgraph.
+///
+/// Fires start at uniform random seeds and restart whenever they die out,
+/// so the sampler always reaches `target` nodes (capped at `g.num_nodes()`).
+///
+/// # Panics
+///
+/// Panics if `burn_p` is not in `[0, 1)` or `target == 0`.
+pub fn forest_fire_sample<R: Rng + ?Sized>(g: &Graph, target: usize, burn_p: f64, rng: &mut R) -> Sample {
+    assert!((0.0..1.0).contains(&burn_p), "burn_p must be in [0, 1)");
+    assert!(target > 0, "target must be positive");
+    let target = target.min(g.num_nodes());
+
+    let mut in_sample = vec![false; g.num_nodes()];
+    let mut sampled: Vec<NodeId> = Vec::with_capacity(target);
+    let mut frontier: Vec<NodeId> = Vec::new();
+
+    while sampled.len() < target {
+        if frontier.is_empty() {
+            // Start (or restart) a fire at a fresh uniform seed.
+            loop {
+                let s = NodeId(rng.gen_range(0..g.num_nodes() as u32));
+                if !in_sample[s.index()] {
+                    in_sample[s.index()] = true;
+                    sampled.push(s);
+                    frontier.push(s);
+                    break;
+                }
+            }
+            continue;
+        }
+        let u = frontier.pop().expect("frontier checked non-empty");
+        let mut burn = 0usize;
+        while rng.gen_bool(burn_p) {
+            burn += 1;
+        }
+        if burn == 0 {
+            continue;
+        }
+        let mut fresh: Vec<NodeId> = g
+            .neighbors(u)
+            .iter()
+            .copied()
+            .filter(|v| !in_sample[v.index()])
+            .collect();
+        for _ in 0..burn.min(fresh.len()) {
+            if sampled.len() >= target {
+                break;
+            }
+            let i = rng.gen_range(0..fresh.len());
+            let v = fresh.swap_remove(i);
+            in_sample[v.index()] = true;
+            sampled.push(v);
+            frontier.push(v);
+        }
+    }
+
+    // Induce the subgraph with dense relabeling.
+    let mut new_id = vec![u32::MAX; g.num_nodes()];
+    for (i, &orig) in sampled.iter().enumerate() {
+        new_id[orig.index()] = i as u32;
+    }
+    let mut b = GraphBuilder::new(sampled.len());
+    for (i, &orig) in sampled.iter().enumerate() {
+        for &v in g.neighbors(orig) {
+            let nv = new_id[v.index()];
+            if nv != u32::MAX {
+                b.add_edge(NodeId(i as u32), NodeId(nv));
+            }
+        }
+    }
+    Sample { graph: b.build(), original: sampled }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::BarabasiAlbert;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sample_has_requested_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let host = BarabasiAlbert::new(1_000, 4).generate(&mut rng);
+        let s = forest_fire_sample(&host, 200, 0.4, &mut rng);
+        assert_eq!(s.graph.num_nodes(), 200);
+        assert_eq!(s.original.len(), 200);
+    }
+
+    #[test]
+    fn sample_edges_exist_in_host() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let host = BarabasiAlbert::new(500, 3).generate(&mut rng);
+        let s = forest_fire_sample(&host, 100, 0.5, &mut rng);
+        for (u, v) in s.graph.edges() {
+            assert!(host.has_edge(s.original[u.index()], s.original[v.index()]));
+        }
+    }
+
+    #[test]
+    fn sampled_ids_are_unique() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let host = BarabasiAlbert::new(400, 2).generate(&mut rng);
+        let s = forest_fire_sample(&host, 150, 0.3, &mut rng);
+        let mut ids = s.original.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 150);
+    }
+
+    #[test]
+    fn target_is_capped_at_host_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let host = BarabasiAlbert::new(50, 2).generate(&mut rng);
+        let s = forest_fire_sample(&host, 500, 0.4, &mut rng);
+        assert_eq!(s.graph.num_nodes(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "target")]
+    fn rejects_zero_target() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let host = BarabasiAlbert::new(10, 2).generate(&mut rng);
+        let _ = forest_fire_sample(&host, 0, 0.4, &mut rng);
+    }
+}

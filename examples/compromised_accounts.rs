@@ -1,0 +1,70 @@
+//! Detecting compromised accounts with time-sharded Rejecto (§VII).
+//!
+//! Compromised legitimate accounts that are repurposed for friend spam
+//! look legitimate on the all-time graph (years of organic history), but
+//! their *post-compromise intervals* carry the friend-spam signature:
+//! excessive rejected requests. The §VII deployment shards requests and
+//! rejections by time interval and runs Rejecto per shard.
+//!
+//! ```sh
+//! cargo run --release --example compromised_accounts
+//! ```
+
+use rejecto::rejecto_core::{IterativeDetector, RejectoConfig, Seeds, Termination};
+use rejecto::simulator::{Timeline, TimelineConfig};
+use rejecto::socialgraph::surrogates::Surrogate;
+
+fn main() {
+    let host = Surrogate::Facebook.generate_scaled(13, 0.2);
+    let config = TimelineConfig {
+        intervals: 6,
+        compromise_at: 3,
+        num_compromised: 150,
+        spam_per_interval: 25,
+        ..TimelineConfig::default()
+    };
+    let tl = Timeline::simulate(&host, &config, 31);
+    let truth = tl.is_compromised_mask();
+    println!(
+        "{} accounts over {} intervals; {} compromised at interval {}",
+        tl.num_nodes(),
+        tl.intervals(),
+        tl.compromised().len(),
+        tl.compromise_at()
+    );
+
+    let detector = IterativeDetector::new(RejectoConfig::default());
+    let mut flag_count = vec![0usize; tl.num_nodes()];
+    println!("\ninterval  flagged  true-hits  note");
+    for t in 0..tl.intervals() {
+        let shard = tl.interval_graph(t);
+        let report = detector.detect(
+            &shard,
+            &Seeds::default(),
+            // Organic acceptance is ~0.8; anything under 0.5 is anomalous.
+            Termination::AcceptanceThreshold(0.5),
+        );
+        let flagged = report.suspects();
+        let hits = flagged.iter().filter(|n| truth[n.index()]).count();
+        for n in &flagged {
+            flag_count[n.index()] += 1;
+        }
+        let note = if t < tl.compromise_at() { "pre-compromise" } else { "post-compromise" };
+        println!("{t:>8}  {:>7}  {:>9}  {note}", flagged.len(), hits);
+    }
+
+    // Single-interval flags include organic users who were merely unlucky
+    // that week. Persistence across shards separates them: a compromised
+    // account spams every post-compromise interval.
+    let persistent: Vec<usize> =
+        (0..tl.num_nodes()).filter(|&i| flag_count[i] >= 2).collect();
+    let hits = persistent.iter().filter(|&&i| truth[i]).count();
+    println!(
+        "\npersistence filter (flagged in >= 2 intervals): {} accounts, {} true \
+         (precision {:.3}, recall {:.3})",
+        persistent.len(),
+        hits,
+        hits as f64 / persistent.len().max(1) as f64,
+        hits as f64 / tl.compromised().len() as f64
+    );
+}

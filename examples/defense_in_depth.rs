@@ -1,0 +1,46 @@
+//! Defense in depth (§II-C, §VI-D): compose Rejecto with SybilRank.
+//!
+//! Social-graph-based Sybil detectors bound undetected fakes by the number
+//! of attack edges — which friend spam inflates. This example measures
+//! SybilRank's ranking quality (AUC) on a spam-polluted graph, then prunes
+//! Rejecto's suspects in increments and shows the AUC recover as attack
+//! edges disappear.
+//!
+//! ```sh
+//! cargo run --release --example defense_in_depth
+//! ```
+
+use rejecto::pipeline::{self, PipelineConfig};
+use rejecto::simulator::{Scenario, ScenarioConfig};
+use rejecto::socialgraph::surrogates::Surrogate;
+
+fn main() {
+    let host = Surrogate::Facebook.generate_scaled(5, 0.2);
+    // The paper's §VI-D setup: half of the Sybils spam, half stay silent.
+    let sim = Scenario::new(ScenarioConfig {
+        num_fakes: 2_000,
+        spammer_fraction: 0.5,
+        ..ScenarioConfig::default()
+    })
+    .run(&host, 11);
+
+    println!(
+        "{} Sybils ({} spamming), {} attack edges",
+        sim.fakes.len(),
+        sim.spammers.len(),
+        sim.attack_edges()
+    );
+
+    let cfg = PipelineConfig::default();
+    println!("removed_by_rejecto  sybilrank_auc");
+    for step in 0..=5 {
+        let removed = step * 200;
+        let auc = pipeline::defense_in_depth(&sim, &cfg, removed);
+        println!("{removed:>18}  {auc:.4}");
+    }
+    println!(
+        "\nRemoving the friend spammers removes their attack edges; the silent\n\
+         Sybil community is then cleanly separated and SybilRank's AUC\n\
+         approaches 1 — the Fig 16 effect."
+    );
+}

@@ -1,0 +1,549 @@
+//! Subcommand implementations.
+
+use super::args::{ArgError, Args};
+use rejecto_core::{IterativeDetector, RejectoConfig, Seeds, Termination};
+use simulator::{Scenario, ScenarioConfig};
+use socialgraph::surrogates::Surrogate;
+use socialgraph::{analysis, metrics, Graph, NodeId};
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Top-level CLI error: message plus exit-worthy context.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError(e.0)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("i/o error: {e}"))
+    }
+}
+
+macro_rules! cli_from {
+    ($t:ty) => {
+        impl From<$t> for CliError {
+            fn from(e: $t) -> Self {
+                CliError(e.to_string())
+            }
+        }
+    };
+}
+cli_from!(socialgraph::GraphError);
+cli_from!(rejection::io::AugmentedIoError);
+
+/// Dispatches a subcommand; `out` receives user-facing output (stdout in
+/// `main`, a buffer in tests).
+///
+/// # Errors
+///
+/// Returns a rendered error for unknown commands, bad flags, and file
+/// problems.
+pub fn run<W: Write>(command: &str, raw_args: &[String], out: &mut W) -> Result<(), CliError> {
+    let args = Args::parse(raw_args.iter().cloned())?;
+    if args.wants_help() {
+        writeln!(out, "{}", super::USAGE)?;
+        return Ok(());
+    }
+    match command {
+        "simulate" => simulate(args, out),
+        "detect" => detect(args, out),
+        "stats" => stats(args, out),
+        "votetrust" => votetrust_cmd(args, out),
+        "sybilrank" => sybilrank_cmd(args, out),
+        "defense" => defense(args, out),
+        other => Err(CliError(format!("unknown command {other:?}; see --help"))),
+    }
+}
+
+fn parse_surrogate(name: &str) -> Result<Surrogate, CliError> {
+    Surrogate::ALL
+        .into_iter()
+        .find(|s| s.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let names: Vec<&str> = Surrogate::ALL.iter().map(|s| s.name()).collect();
+            CliError(format!("unknown surrogate {name:?}; options: {}", names.join(", ")))
+        })
+}
+
+fn parse_seed_list(raw: &str) -> Result<Vec<NodeId>, CliError> {
+    raw.split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| {
+            s.trim()
+                .parse::<u32>()
+                .map(NodeId)
+                .map_err(|_| CliError(format!("bad node id {s:?} in seed list")))
+        })
+        .collect()
+}
+
+fn simulate<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
+    let stem = args.require("out")?;
+    let scale: f64 = args.get_or("scale", 0.2)?;
+    let host = match args.get("edge-list") {
+        Some(path) => {
+            let (g, _) = socialgraph::io::read_edge_list(File::open(&path)?)?;
+            g
+        }
+        None => {
+            let name = args.get("host").unwrap_or_else(|| "Facebook".to_string());
+            parse_surrogate(&name)?.generate_scaled(args.get_or("seed", 42u64)?, scale)
+        }
+    };
+    let fakes: usize = args.get_or("fakes", ((10_000.0 * scale) as usize).max(1))?;
+    let config = ScenarioConfig {
+        num_fakes: fakes,
+        requests_per_spammer: args.get_or("requests", 20usize)?,
+        spam_rejection_rate: args.get_or("spam-rejection", 0.7)?,
+        legit_rejection_rate: args.get_or("legit-rejection", 0.2)?,
+        fake_intra_edges: args.get_or("intra-edges", 6usize)?,
+        spammer_fraction: args.get_or("spammer-fraction", 1.0)?,
+        ..ScenarioConfig::default()
+    };
+    let seed: u64 = args.get_or("seed", 42)?;
+    args.finish()?;
+
+    let sim = Scenario::new(config).run(&host, seed);
+
+    let graph_path = format!("{stem}.rjg");
+    rejection::io::write_augmented(&sim.graph, File::create(&graph_path)?)?;
+    let req_path = format!("{stem}.requests");
+    {
+        let mut w = BufWriter::new(File::create(&req_path)?);
+        for r in sim.log.requests() {
+            writeln!(w, "{} {} {}", r.from, r.to, u8::from(r.accepted))?;
+        }
+    }
+    let truth_path = format!("{stem}.truth");
+    {
+        let mut w = BufWriter::new(File::create(&truth_path)?);
+        for f in &sim.fakes {
+            writeln!(w, "{f}")?;
+        }
+    }
+
+    writeln!(
+        out,
+        "simulated {} users ({} legit + {} fake), {} friendships, {} rejections, {} attack edges",
+        sim.graph.num_nodes(),
+        sim.num_legit,
+        sim.fakes.len(),
+        sim.graph.num_friendships(),
+        sim.graph.num_rejections(),
+        sim.attack_edges()
+    )?;
+    writeln!(out, "wrote {graph_path}, {req_path}, {truth_path}")?;
+    Ok(())
+}
+
+fn read_truth(path: &str) -> Result<Vec<NodeId>, CliError> {
+    let mut out = Vec::new();
+    for (i, line) in BufReader::new(File::open(path)?).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        let id: u32 = t
+            .parse()
+            .map_err(|_| CliError(format!("{path}:{}: bad node id {t:?}", i + 1)))?;
+        out.push(NodeId(id));
+    }
+    Ok(out)
+}
+
+fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
+    let graph_path = args.require("graph")?;
+    let budget: Option<usize> = args.get_opt("budget")?;
+    let threshold: Option<f64> = args.get_opt("threshold")?;
+    let truth_path = args.get("truth");
+    let json: bool = args.get_or("json", false)?;
+    args.finish()?;
+
+    let g = rejection::io::read_augmented(File::open(&graph_path)?)?;
+    let termination = match (budget, threshold) {
+        (Some(b), Some(t)) => Termination::BudgetOrThreshold { budget: b, threshold: t },
+        (Some(b), None) => Termination::SuspectBudget(b),
+        (None, Some(t)) => Termination::AcceptanceThreshold(t),
+        (None, None) => Termination::AcceptanceThreshold(0.5),
+    };
+    let detector = IterativeDetector::new(RejectoConfig::default());
+    let report = detector.detect(&g, &Seeds::default(), termination);
+
+    if json {
+        for group in &report.groups {
+            let ids: Vec<u32> = group.nodes.iter().map(|n| n.0).collect();
+            writeln!(
+                out,
+                "{}",
+                serde_json::json!({
+                    "round": group.round,
+                    "acceptance_rate": group.acceptance_rate,
+                    "k": group.k,
+                    "nodes": ids,
+                })
+            )
+            .map_err(|e| CliError(e.to_string()))?;
+        }
+    } else {
+        writeln!(out, "{} group(s) detected in {} round(s)", report.groups.len(), report.rounds)?;
+        for group in &report.groups {
+            writeln!(
+                out,
+                "  round {:>2}: {:>6} accounts at acceptance rate {:.4} (k = {:.3})",
+                group.round,
+                group.nodes.len(),
+                group.acceptance_rate,
+                group.k
+            )?;
+        }
+    }
+
+    if let Some(path) = truth_path {
+        let truth = read_truth(&path)?;
+        let mut is_fake = vec![false; g.num_nodes()];
+        for t in &truth {
+            if t.index() < is_fake.len() {
+                is_fake[t.index()] = true;
+            }
+        }
+        let suspects = report.suspects();
+        let idx: Vec<usize> = suspects.iter().map(|s| s.index()).collect();
+        let pr = eval::precision_recall(&idx, &is_fake);
+        writeln!(
+            out,
+            "scored against {path}: precision {:.4}, recall {:.4} ({} of {} declared correct)",
+            pr.precision(),
+            pr.recall(),
+            pr.true_positives,
+            pr.declared
+        )?;
+    }
+    Ok(())
+}
+
+fn stats<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
+    let edge_path = args.get("graph");
+    let augmented_path = args.get("augmented");
+    args.finish()?;
+
+    let (graph, rejections): (Graph, Option<(u64, u64)>) = match (edge_path, augmented_path) {
+        (Some(p), None) => {
+            let (g, _) = socialgraph::io::read_edge_list(File::open(&p)?)?;
+            (g, None)
+        }
+        (None, Some(p)) => {
+            let ag = rejection::io::read_augmented(File::open(&p)?)?;
+            let rejected_users =
+                ag.nodes().filter(|&u| ag.rejections_received(u) > 0).count() as u64;
+            (ag.friendship_graph(), Some((ag.num_rejections(), rejected_users)))
+        }
+        _ => {
+            return Err(CliError(
+                "stats needs exactly one of --graph <edge list> or --augmented <.rjg>".to_string(),
+            ))
+        }
+    };
+
+    let deg = metrics::degree_stats(&graph);
+    writeln!(out, "nodes:            {}", graph.num_nodes())?;
+    writeln!(out, "edges:            {}", graph.num_edges())?;
+    writeln!(out, "degree:           min {} / mean {:.2} / max {}", deg.min, deg.mean, deg.max)?;
+    writeln!(out, "clustering:       {:.4}", metrics::average_clustering(&graph))?;
+    let comps = metrics::connected_components(&graph);
+    let largest = comps.iter().map(Vec::len).max().unwrap_or(0);
+    writeln!(out, "components:       {} (largest {largest})", comps.len())?;
+    if let Some(start) = comps.iter().max_by_key(|c| c.len()).and_then(|c| c.first()) {
+        writeln!(out, "diameter (lb):    {}", metrics::pseudo_diameter(&graph, *start, 4))?;
+    }
+    writeln!(out, "degeneracy:       {}", analysis::degeneracy(&graph))?;
+    if let Some(alpha) = analysis::power_law_alpha(&graph, deg.mean.ceil() as usize + 1) {
+        writeln!(out, "power-law alpha:  {alpha:.2} (tail above mean degree)")?;
+    }
+    if let Some(r) = analysis::degree_assortativity(&graph) {
+        writeln!(out, "assortativity:    {r:.4}")?;
+    }
+    if let Some((rej, rejected_users)) = rejections {
+        writeln!(out, "rejections:       {rej} (onto {rejected_users} users)")?;
+    }
+    Ok(())
+}
+
+fn votetrust_cmd<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
+    let log_path = args.require("log")?;
+    let bottom: usize = args.get_or("bottom", 20)?;
+    let seeds = match args.get("seeds") {
+        Some(raw) => parse_seed_list(&raw)?,
+        None => Vec::new(),
+    };
+    args.finish()?;
+
+    let mut requests: Vec<(NodeId, NodeId, bool)> = Vec::new();
+    let mut max_id = 0u32;
+    for (i, line) in BufReader::new(File::open(&log_path)?).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u32, CliError> {
+            tok.and_then(|x| x.parse().ok())
+                .ok_or_else(|| CliError(format!("{log_path}:{}: bad request line {t:?}", i + 1)))
+        };
+        let from = parse(parts.next())?;
+        let to = parse(parts.next())?;
+        let accepted = parse(parts.next())? != 0;
+        max_id = max_id.max(from).max(to);
+        requests.push((NodeId(from), NodeId(to), accepted));
+    }
+    let g = votetrust::RequestGraph::from_requests(max_id as usize + 1, requests);
+    let ranking = votetrust::VoteTrust::default().rank(&g, &seeds);
+    writeln!(out, "bottom {bottom} users by VoteTrust rating:")?;
+    for n in ranking.bottom(bottom) {
+        writeln!(
+            out,
+            "  {n}: rating {:.4}, votes {:.6}",
+            ranking.ratings()[n.index()],
+            ranking.votes()[n.index()]
+        )?;
+    }
+    Ok(())
+}
+
+fn sybilrank_cmd<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
+    let graph_path = args.require("graph")?;
+    let seeds = parse_seed_list(&args.require("seeds")?)?;
+    let bottom: usize = args.get_or("bottom", 20)?;
+    args.finish()?;
+
+    let (g, _) = socialgraph::io::read_edge_list(File::open(&graph_path)?)?;
+    if seeds.is_empty() {
+        return Err(CliError("sybilrank needs at least one --seeds id".to_string()));
+    }
+    for s in &seeds {
+        if s.index() >= g.num_nodes() {
+            return Err(CliError(format!("seed {s} out of range ({} nodes)", g.num_nodes())));
+        }
+    }
+    let result = sybilrank::SybilRank::default().rank(&g, &seeds);
+    let mut idx: Vec<usize> = (0..g.num_nodes()).collect();
+    idx.sort_by(|&a, &b| {
+        result.scores()[a]
+            .partial_cmp(&result.scores()[b])
+            .expect("finite scores")
+            .then(a.cmp(&b))
+    });
+    writeln!(out, "bottom {bottom} users by degree-normalized trust:")?;
+    for &i in idx.iter().take(bottom) {
+        writeln!(out, "  {}: score {:.6}", i, result.scores()[i])?;
+    }
+    Ok(())
+}
+
+/// Defense in depth (§VI-D): prune Rejecto's suspects from an augmented
+/// graph and report SybilRank's ranking quality before and after.
+fn defense<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
+    let graph_path = args.require("graph")?;
+    let budget: usize = args.get_or("budget", 1_000)?;
+    let seeds = parse_seed_list(&args.require("seeds")?)?;
+    let truth_path = args.get("truth");
+    args.finish()?;
+
+    let g = rejection::io::read_augmented(File::open(&graph_path)?)?;
+    if seeds.is_empty() {
+        return Err(CliError("defense needs at least one --seeds id".to_string()));
+    }
+    for s in &seeds {
+        if s.index() >= g.num_nodes() {
+            return Err(CliError(format!("seed {s} out of range ({} nodes)", g.num_nodes())));
+        }
+    }
+
+    let detector = IterativeDetector::new(RejectoConfig::default());
+    let report = detector.detect(
+        &g,
+        &Seeds { legit: seeds.clone(), spammer: Vec::new() },
+        Termination::SuspectBudget(budget),
+    );
+    let pruned = report.suspects_top(budget, &g);
+    writeln!(out, "rejecto pruned {} suspects in {} round(s)", pruned.len(), report.rounds)?;
+
+    // Sterilized friendship graph: drop pruned nodes with their links.
+    let mut keep = vec![true; g.num_nodes()];
+    for s in &pruned {
+        keep[s.index()] = false;
+    }
+    let kept: Vec<NodeId> = g.nodes().filter(|u| keep[u.index()]).collect();
+    let mut new_id = vec![u32::MAX; g.num_nodes()];
+    for (i, &u) in kept.iter().enumerate() {
+        new_id[u.index()] = i as u32;
+    }
+    let mut b = socialgraph::GraphBuilder::new(kept.len());
+    for &u in &kept {
+        for &v in g.friends(u) {
+            if u < v && keep[v.index()] {
+                b.add_edge(NodeId(new_id[u.index()]), NodeId(new_id[v.index()]));
+            }
+        }
+    }
+    let sterilized = b.build();
+    let mapped_seeds: Vec<NodeId> = seeds
+        .iter()
+        .filter(|s| keep[s.index()])
+        .map(|s| NodeId(new_id[s.index()]))
+        .collect();
+    if mapped_seeds.is_empty() {
+        return Err(CliError("all seeds were pruned; supply known-legit seeds".to_string()));
+    }
+
+    let before = sybilrank::SybilRank::default().rank(&g.friendship_graph(), &seeds);
+    let after = sybilrank::SybilRank::default().rank(&sterilized, &mapped_seeds);
+    writeln!(
+        out,
+        "sybilrank ranking spans {} users before, {} after pruning",
+        g.num_nodes(),
+        sterilized.num_nodes()
+    )?;
+
+    if let Some(path) = truth_path {
+        let truth = read_truth(&path)?;
+        let mut is_fake = vec![false; g.num_nodes()];
+        for t in &truth {
+            if t.index() < is_fake.len() {
+                is_fake[t.index()] = true;
+            }
+        }
+        let auc_before = before.auc(&is_fake);
+        let kept_fake: Vec<bool> = kept.iter().map(|u| is_fake[u.index()]).collect();
+        let auc_after = after.auc(&kept_fake);
+        let tp = pruned.iter().filter(|s| is_fake[s.index()]).count();
+        writeln!(out, "pruned true fakes: {tp} of {}", pruned.len())?;
+        writeln!(out, "sybilrank AUC: {auc_before:.4} before, {auc_after:.4} after")?;
+    }
+    Ok(())
+}
+
+/// Helper for tests: run a command against string args.
+#[cfg(test)]
+pub fn run_to_string(command: &str, args: &[&str]) -> Result<String, CliError> {
+    let raw: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut buf = Vec::new();
+    run(command, &raw, &mut buf)?;
+    Ok(String::from_utf8(buf).expect("utf-8 output"))
+}
+
+#[allow(unused)]
+fn _path_exists(p: &Path) -> bool {
+    p.exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rejecto-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn simulate_then_detect_roundtrip() {
+        let dir = tmpdir();
+        let stem = dir.join("attack");
+        let stem_s = stem.to_str().unwrap();
+        let out = run_to_string(
+            "simulate",
+            &["--out", stem_s, "--scale", "0.03", "--fakes", "60", "--seed", "5"],
+        )
+        .unwrap();
+        assert!(out.contains("simulated"), "{out}");
+
+        let graph = format!("{stem_s}.rjg");
+        let truth = format!("{stem_s}.truth");
+        let report = run_to_string(
+            "detect",
+            &["--graph", &graph, "--budget", "60", "--truth", &truth],
+        )
+        .unwrap();
+        assert!(report.contains("group(s) detected"), "{report}");
+        let precision: f64 = report
+            .split("precision ")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("precision in output");
+        assert!(precision > 0.9, "cli precision {precision}\n{report}");
+    }
+
+    #[test]
+    fn detect_json_emits_one_line_per_group() {
+        let dir = tmpdir();
+        let stem = dir.join("json");
+        let stem_s = stem.to_str().unwrap();
+        run_to_string("simulate", &["--out", stem_s, "--scale", "0.03", "--fakes", "40"]).unwrap();
+        let out = run_to_string(
+            "detect",
+            &["--graph", &format!("{stem_s}.rjg"), "--budget", "40", "--json", "true"],
+        )
+        .unwrap();
+        for line in out.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).expect("json line");
+            assert!(v["acceptance_rate"].is_number());
+        }
+    }
+
+    #[test]
+    fn stats_reports_augmented_numbers() {
+        let dir = tmpdir();
+        let stem = dir.join("stats");
+        let stem_s = stem.to_str().unwrap();
+        run_to_string("simulate", &["--out", stem_s, "--scale", "0.03", "--fakes", "30"]).unwrap();
+        let out =
+            run_to_string("stats", &["--augmented", &format!("{stem_s}.rjg")]).unwrap();
+        assert!(out.contains("rejections:"), "{out}");
+        assert!(out.contains("clustering:"), "{out}");
+    }
+
+    #[test]
+    fn votetrust_ranks_from_request_log() {
+        let dir = tmpdir();
+        let stem = dir.join("vt");
+        let stem_s = stem.to_str().unwrap();
+        run_to_string("simulate", &["--out", stem_s, "--scale", "0.03", "--fakes", "30"]).unwrap();
+        let out = run_to_string(
+            "votetrust",
+            &["--log", &format!("{stem_s}.requests"), "--bottom", "5", "--seeds", "0,1"],
+        )
+        .unwrap();
+        assert_eq!(out.lines().count(), 6, "{out}");
+    }
+
+    #[test]
+    fn unknown_command_is_rejected() {
+        let err = run_to_string("frobnicate", &[]).unwrap_err();
+        assert!(err.0.contains("unknown command"));
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let err = run_to_string("stats", &["--bogus", "1"]).unwrap_err();
+        assert!(err.0.contains("unknown flag") || err.0.contains("stats needs"), "{err}");
+    }
+}

@@ -1,0 +1,71 @@
+//! The `rejecto` command-line tool: simulate attacks, persist augmented
+//! graphs, and run the detectors from the shell.
+//!
+//! ```text
+//! rejecto simulate  --out attack.rjg [--host Facebook] [--scale 0.2] ...
+//! rejecto detect    --graph attack.rjg [--budget N | --threshold F] ...
+//! rejecto stats     --graph edges.txt | --augmented attack.rjg
+//! rejecto votetrust --log requests.log [--bottom N]
+//! rejecto sybilrank --graph edges.txt --seeds 0,1,2 [--bottom N]
+//! ```
+
+mod args;
+mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{run, CliError};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+rejecto — friend-spam detection via social rejections (ICDCS'15 reproduction)
+
+USAGE:
+  rejecto <COMMAND> [--key value ...]
+
+COMMANDS:
+  simulate    Simulate a friend-spam attack on a surrogate or SNAP host
+              graph; writes the augmented graph, request log, and ground
+              truth.
+                --out <stem>          output stem (writes <stem>.rjg,
+                                      <stem>.requests, <stem>.truth)
+                --host <name>         Table-I surrogate [default Facebook]
+                --edge-list <path>    ... or a SNAP edge list as the host
+                --scale <f>           surrogate scale [default 0.2]
+                --fakes <n>           injected fakes [default scale*10000]
+                --requests <n>        spam requests per fake [default 20]
+                --spam-rejection <f>  spam rejection rate [default 0.7]
+                --legit-rejection <f> legit rejection rate [default 0.2]
+                --intra-edges <n>     intra-fake edges per fake [default 6]
+                --spammer-fraction <f> fraction of fakes that spam [1.0]
+                --seed <u64>          RNG seed [default 42]
+
+  detect      Run iterative MAAR detection on an augmented graph.
+                --graph <path.rjg>    input augmented graph
+                --budget <n>          stop after n suspects
+                --threshold <f>       ... or at this acceptance rate
+                --truth <path>        optional ground truth for scoring
+                --json <bool>         machine-readable output [false]
+
+  stats       Structural statistics of a graph.
+                --graph <path>        SNAP edge list, or
+                --augmented <path>    augmented graph (.rjg)
+
+  votetrust   Rank users with the VoteTrust baseline.
+                --log <path>          request log (from to accepted)
+                --bottom <n>          how many suspects to print [20]
+                --seeds <ids>         trusted seeds, comma-separated
+
+  sybilrank   Rank users with SybilRank.
+                --graph <path>        SNAP edge list
+                --seeds <ids>         trust seeds, comma-separated
+                --bottom <n>          how many low-trust users to print [20]
+
+  defense     Defense in depth: prune Rejecto's suspects, then report
+              SybilRank's ranking quality before/after.
+                --graph <path.rjg>    augmented graph
+                --seeds <ids>         known-legit seeds, comma-separated
+                --budget <n>          suspects to prune [1000]
+                --truth <path>        ground truth for AUC scoring
+
+Run `rejecto <COMMAND> --help` for the command's flags.
+";

@@ -1,0 +1,78 @@
+//! Cross-validation of the distributed runtime against the single-process
+//! solver: identical cuts on varied scenarios, cluster shapes, and buffer
+//! configurations.
+
+use rejecto::dataflow::{ClusterConfig, DistributedMaar};
+use rejecto::rejecto_core::{MaarSolver, RejectoConfig};
+use rejecto::simulator::{Scenario, ScenarioConfig, SelfRejectionConfig};
+use rejecto::socialgraph::surrogates::Surrogate;
+
+fn check_parity(cfg: ScenarioConfig, cluster: ClusterConfig, seed: u64) {
+    let host = Surrogate::Facebook.generate_scaled(seed, 0.04);
+    let sim = Scenario::new(cfg).run(&host, seed);
+    let rejecto = RejectoConfig::default();
+    let local = MaarSolver::new(rejecto.clone()).solve(&sim.graph, &[], &[]);
+    let dist = DistributedMaar::new(cluster, rejecto).solve(&sim.graph);
+    match local {
+        Some(cut) => {
+            assert_eq!(dist.suspects, cut.suspects(), "cut mismatch (seed {seed})");
+            let ac = dist.acceptance_rate.expect("distributed found no cut");
+            assert!((ac - cut.acceptance_rate).abs() < 1e-12);
+        }
+        None => assert!(dist.suspects.is_empty(), "distributed found a phantom cut"),
+    }
+}
+
+#[test]
+fn parity_on_baseline_attack() {
+    check_parity(
+        ScenarioConfig { num_fakes: 400, ..ScenarioConfig::default() },
+        ClusterConfig::default(),
+        21,
+    );
+}
+
+#[test]
+fn parity_under_collusion() {
+    check_parity(
+        ScenarioConfig { num_fakes: 400, fake_intra_edges: 30, ..ScenarioConfig::default() },
+        ClusterConfig { num_workers: 3, ..ClusterConfig::default() },
+        22,
+    );
+}
+
+#[test]
+fn parity_under_self_rejection() {
+    check_parity(
+        ScenarioConfig {
+            num_fakes: 400,
+            self_rejection: Some(SelfRejectionConfig {
+                whitewashed: 200,
+                requests_per_sender: 20,
+                rejection_rate: 0.85,
+            }),
+            ..ScenarioConfig::default()
+        },
+        ClusterConfig { num_workers: 7, ..ClusterConfig::default() },
+        23,
+    );
+}
+
+#[test]
+fn parity_with_pathological_buffer() {
+    // A one-entry buffer with single-node batches must still be correct.
+    check_parity(
+        ScenarioConfig { num_fakes: 300, ..ScenarioConfig::default() },
+        ClusterConfig { num_workers: 2, prefetch_batch: 1, buffer_capacity: 1 },
+        24,
+    );
+}
+
+#[test]
+fn parity_with_more_workers_than_meaningful_shards() {
+    check_parity(
+        ScenarioConfig { num_fakes: 100, ..ScenarioConfig::default() },
+        ClusterConfig { num_workers: 64, ..ClusterConfig::default() },
+        25,
+    );
+}

@@ -1,0 +1,136 @@
+//! End-to-end integration tests: the full §VI evaluation protocol at
+//! reduced scale, spanning every crate in the workspace.
+
+use rejecto::pipeline::{self, PipelineConfig};
+use rejecto::simulator::{Scenario, ScenarioConfig, SelfRejectionConfig, SimOutput};
+use rejecto::socialgraph::surrogates::Surrogate;
+
+const SCALE: f64 = 0.08; // 800 legit users, 800 fakes
+const FAKES: usize = 800;
+
+fn simulate(surrogate: Surrogate, cfg: ScenarioConfig, seed: u64) -> SimOutput {
+    let host = surrogate.generate_scaled(seed, SCALE);
+    Scenario::new(cfg).run(&host, seed)
+}
+
+fn baseline() -> ScenarioConfig {
+    ScenarioConfig { num_fakes: FAKES, ..ScenarioConfig::default() }
+}
+
+#[test]
+fn rejecto_is_accurate_on_the_baseline_attack() {
+    let sim = simulate(Surrogate::Facebook, baseline(), 1);
+    let cfg = PipelineConfig::default();
+    let suspects = pipeline::rejecto_suspects(&sim, &cfg, FAKES);
+    let p = pipeline::precision(&suspects, &sim.is_fake);
+    assert!(p > 0.97, "baseline precision {p}");
+}
+
+#[test]
+fn rejecto_beats_votetrust_when_half_the_fakes_hide() {
+    let sim = simulate(
+        Surrogate::Facebook,
+        ScenarioConfig { spammer_fraction: 0.5, ..baseline() },
+        2,
+    );
+    let cfg = PipelineConfig::default();
+    let (rj, vt) = (
+        pipeline::precision(&pipeline::rejecto_suspects(&sim, &cfg, FAKES), &sim.is_fake),
+        pipeline::precision(&pipeline::votetrust_suspects(&sim, &cfg, FAKES), &sim.is_fake),
+    );
+    assert!(rj > 0.9, "rejecto {rj}");
+    assert!(vt < 0.7, "votetrust should miss the silent fakes, got {vt}");
+    assert!(rj > vt + 0.2, "rejecto {rj} vs votetrust {vt}");
+}
+
+#[test]
+fn collusion_does_not_help_the_attacker_against_rejecto() {
+    let sim = simulate(
+        Surrogate::Facebook,
+        ScenarioConfig { fake_intra_edges: 40, ..baseline() },
+        3,
+    );
+    let cfg = PipelineConfig::default();
+    let p = pipeline::precision(&pipeline::rejecto_suspects(&sim, &cfg, FAKES), &sim.is_fake);
+    assert!(p > 0.95, "collusion precision {p}");
+}
+
+#[test]
+fn self_rejection_whitewashing_fails_against_iterative_pruning() {
+    let sim = simulate(
+        Surrogate::Facebook,
+        ScenarioConfig {
+            self_rejection: Some(SelfRejectionConfig {
+                whitewashed: FAKES / 2,
+                requests_per_sender: 20,
+                rejection_rate: 0.9,
+            }),
+            ..baseline()
+        },
+        4,
+    );
+    let cfg = PipelineConfig::default();
+    let p = pipeline::precision(&pipeline::rejecto_suspects(&sim, &cfg, FAKES), &sim.is_fake);
+    assert!(p > 0.9, "self-rejection precision {p}");
+}
+
+#[test]
+fn massive_rejections_on_legit_users_eventually_break_detection() {
+    // Fig 15's two regimes: tolerable (well below the spam rejection
+    // volume) and collapsed (beyond it).
+    let spam_rejections = (FAKES * 20) as f64 * 0.7; // ≈ 11.2K
+    let cfg = PipelineConfig::default();
+
+    let tolerable = simulate(
+        Surrogate::Facebook,
+        ScenarioConfig {
+            legit_requests_rejected_by_fakes: (spam_rejections * 0.5) as u64,
+            ..baseline()
+        },
+        5,
+    );
+    let p_ok = pipeline::precision(
+        &pipeline::rejecto_suspects(&tolerable, &cfg, FAKES),
+        &tolerable.is_fake,
+    );
+    assert!(p_ok > 0.9, "tolerable regime precision {p_ok}");
+
+    let collapsed = simulate(
+        Surrogate::Facebook,
+        ScenarioConfig {
+            legit_requests_rejected_by_fakes: (spam_rejections * 1.3) as u64,
+            ..baseline()
+        },
+        5,
+    );
+    let p_bad = pipeline::precision(
+        &pipeline::rejecto_suspects(&collapsed, &cfg, FAKES),
+        &collapsed.is_fake,
+    );
+    assert!(p_bad < 0.5, "collapsed regime precision {p_bad}");
+}
+
+#[test]
+fn detection_works_across_host_graph_families() {
+    // The appendix claim: similar trends on every graph family.
+    let cfg = PipelineConfig::default();
+    for surrogate in [Surrogate::CaHepTh, Surrogate::SocSlashdot, Surrogate::Synthetic] {
+        let sim = simulate(surrogate, baseline(), 6);
+        let p = pipeline::precision(&pipeline::rejecto_suspects(&sim, &cfg, FAKES), &sim.is_fake);
+        assert!(p > 0.95, "{}: precision {p}", surrogate.name());
+    }
+}
+
+#[test]
+fn defense_in_depth_improves_sybilrank() {
+    let sim = simulate(
+        Surrogate::Facebook,
+        ScenarioConfig { spammer_fraction: 0.5, ..baseline() },
+        7,
+    );
+    let cfg = PipelineConfig::default();
+    let before = pipeline::defense_in_depth(&sim, &cfg, 0);
+    let after = pipeline::defense_in_depth(&sim, &cfg, FAKES / 2);
+    assert!(after >= before - 0.02, "AUC regressed: {before} -> {after}");
+    assert!(after > 0.95, "sterilized AUC {after}");
+}

@@ -1,0 +1,111 @@
+//! Protocol-level invariants of the detection pipeline.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rejecto::rejecto_core::{IterativeDetector, RejectoConfig, Seeds, Termination};
+use rejecto::simulator::{sample_seeds, Scenario, ScenarioConfig};
+use rejecto::socialgraph::surrogates::Surrogate;
+use rejecto::{pipeline, pipeline::PipelineConfig};
+
+fn small_sim() -> rejecto::simulator::SimOutput {
+    let host = Surrogate::Facebook.generate_scaled(10, 0.06);
+    Scenario::new(ScenarioConfig { num_fakes: 600, ..ScenarioConfig::default() })
+        .run(&host, 10)
+}
+
+#[test]
+fn precision_equals_recall_under_the_protocol() {
+    let sim = small_sim();
+    let cfg = PipelineConfig::default();
+    let suspects = pipeline::rejecto_suspects(&sim, &cfg, sim.fakes.len());
+    let idx: Vec<usize> = suspects.iter().map(|s| s.index()).collect();
+    let pr = eval::precision_recall(&idx, &sim.is_fake);
+    assert_eq!(pr.declared, pr.actual, "budget must equal the fake population");
+    assert!((pr.precision() - pr.recall()).abs() < 1e-12);
+}
+
+#[test]
+fn group_acceptance_rates_are_ordered() {
+    // §IV-E: iterative MAAR detection yields groups in non-decreasing
+    // acceptance-rate order.
+    let sim = small_sim();
+    let det = IterativeDetector::new(RejectoConfig::default());
+    let report = det.detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(600));
+    assert!(!report.groups.is_empty());
+    for w in report.groups.windows(2) {
+        assert!(
+            w[0].acceptance_rate <= w[1].acceptance_rate + 1e-9,
+            "rates regressed: {} then {}",
+            w[0].acceptance_rate,
+            w[1].acceptance_rate
+        );
+    }
+}
+
+#[test]
+fn legit_seeds_are_never_flagged() {
+    let sim = small_sim();
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let (legit, spammer) = sample_seeds(&sim, 30, 10, &mut rng);
+    let det = IterativeDetector::new(RejectoConfig::default());
+    let report = det.detect(
+        &sim.graph,
+        &Seeds { legit: legit.clone(), spammer: spammer.clone() },
+        Termination::SuspectBudget(600),
+    );
+    let suspects = report.suspects();
+    for s in &legit {
+        assert!(!suspects.contains(s), "legit seed {s} was flagged");
+    }
+    for s in &spammer {
+        assert!(suspects.contains(s), "spammer seed {s} was missed");
+    }
+}
+
+#[test]
+fn acceptance_threshold_bounds_every_group() {
+    let sim = small_sim();
+    let det = IterativeDetector::new(RejectoConfig::default());
+    let threshold = 0.5;
+    let report = det.detect(
+        &sim.graph,
+        &Seeds::default(),
+        Termination::AcceptanceThreshold(threshold),
+    );
+    for g in &report.groups {
+        assert!(g.acceptance_rate <= threshold, "group above threshold: {}", g.acceptance_rate);
+    }
+}
+
+#[test]
+fn detection_is_deterministic() {
+    let sim = small_sim();
+    let cfg = PipelineConfig::default();
+    let a = pipeline::rejecto_suspects(&sim, &cfg, 600);
+    let b = pipeline::rejecto_suspects(&sim, &cfg, 600);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn budget_never_overshoots() {
+    let sim = small_sim();
+    let cfg = PipelineConfig::default();
+    for budget in [1usize, 10, 100, 600, 2_000] {
+        let suspects = pipeline::rejecto_suspects(&sim, &cfg, budget);
+        assert!(suspects.len() <= budget, "budget {budget} overshot: {}", suspects.len());
+    }
+}
+
+#[test]
+fn votetrust_ranking_covers_all_users() {
+    use rejecto::votetrust::{RequestGraph, VoteTrust};
+    let sim = small_sim();
+    let g = RequestGraph::from_requests(
+        sim.graph.num_nodes(),
+        sim.log.requests().iter().map(|r| (r.from, r.to, r.accepted)),
+    );
+    let ranking = VoteTrust::default().rank(&g, &[]);
+    assert_eq!(ranking.ratings().len(), sim.graph.num_nodes());
+    let bottom = ranking.bottom(sim.graph.num_nodes());
+    assert_eq!(bottom.len(), sim.graph.num_nodes());
+}
