@@ -58,8 +58,18 @@ impl Communities {
 
 /// Label propagation: every node starts in its own community; in each
 /// round (asynchronous, random node order) a node adopts the most frequent
-/// label among its neighbors (ties: smallest label). Converges in a few
-/// rounds on social graphs.
+/// label among its neighbors. Ties keep the node's current label when it
+/// is among the maxima, otherwise pick uniformly at random among the tied
+/// labels — a *smallest-label* tie-break would let one label invade a
+/// neighboring community across a single bridge edge while every
+/// neighborhood is still all-singleton. Converges in a few rounds on
+/// social graphs.
+///
+/// Label counts live in a `BTreeMap` so the scan order over candidate
+/// labels is the label order itself, never allocator- or hash-seed
+/// dependent: for a fixed `rng` seed the outcome is reproducible
+/// byte-for-byte (`cargo xtask check` bans `HashMap` iteration in this
+/// crate for exactly this reason).
 ///
 /// `max_rounds` caps the iteration (label propagation can oscillate on
 /// bipartite-ish structures).
@@ -67,7 +77,8 @@ pub fn label_propagation<R: Rng + ?Sized>(g: &Graph, max_rounds: usize, rng: &mu
     let n = g.num_nodes();
     let mut label: Vec<u32> = (0..n as u32).collect();
     let mut order: Vec<usize> = (0..n).collect();
-    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    let mut counts: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
+    let mut tied: Vec<u32> = Vec::new();
 
     for _ in 0..max_rounds {
         order.shuffle(rng);
@@ -81,12 +92,16 @@ pub fn label_propagation<R: Rng + ?Sized>(g: &Graph, max_rounds: usize, rng: &mu
             for &v in g.neighbors(u) {
                 *counts.entry(label[v.index()]).or_insert(0) += 1;
             }
-            let best = counts
-                .iter()
-                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
-                .map(|(&l, _)| l)
-                .expect("non-empty neighbor set");
-            if best != label[i] {
+            let top = *counts.values().max().expect("non-empty neighbor set");
+            tied.clear();
+            tied.extend(counts.iter().filter(|&(_, &c)| c == top).map(|(&l, _)| l));
+            let current = label[i];
+            let best = if tied.contains(&current) {
+                current
+            } else {
+                *tied.choose(rng).expect("at least one maximal label")
+            };
+            if best != current {
                 label[i] = best;
                 changed += 1;
             }
@@ -96,8 +111,9 @@ pub fn label_propagation<R: Rng + ?Sized>(g: &Graph, max_rounds: usize, rng: &mu
         }
     }
 
-    // Compact labels.
-    let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    // Compact labels (BTreeMap: relabeling is independent of insertion
+    // history, so equal label vectors always compact identically).
+    let mut remap: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
     let mut sizes: Vec<usize> = Vec::new();
     for l in &mut label {
         let next = remap.len() as u32;

@@ -1,0 +1,108 @@
+//! Offline stub of `proptest`, covering the strategy combinators and the
+//! `proptest!` macro surface this workspace's property tests use. Inputs
+//! are generated from a fixed-seed ChaCha8 stream, so every run explores
+//! the same cases, so failures are reproducible by design. Shrinking is
+//! not implemented; a failing case panics with its assertion message.
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub mod collection {
+    pub use crate::strategy::vec;
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+pub use strategy::{any, Just, ProptestConfig, Strategy, TestRng};
+
+/// Like `assert!` but named per the proptest API. Panics (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Uniform choice between heterogeneous strategies with a common value
+/// type, by boxing each arm.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the upstream form used in this workspace: an optional
+/// `#![proptest_config(...)]` header followed by test functions with
+/// `pat in strategy` parameters.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident(
+        $($pat:pat in $strat:expr),+ $(,)?
+    ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    // One deterministic stream per (test, case) pair.
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), case);
+                    let ($($pat,)+) = (
+                        $( $crate::Strategy::generate(&($strat), &mut __rng) ),+ ,
+                    );
+                    // Upstream proptest lets bodies `return Ok(())` early;
+                    // run the body in a Result-returning closure to match.
+                    let outcome: ::core::result::Result<(), ::std::string::String> =
+                        (|| {
+                            $body
+                            Ok(())
+                        })();
+                    if let Err(message) = outcome {
+                        panic!("proptest case {case} failed: {message}");
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,190 @@
+//! Offline stub of `serde`, reduced to the one capability this workspace
+//! uses: turning row structs into JSON text. Instead of serde's full
+//! data-model indirection there is a single trait that appends compact
+//! JSON to a buffer; `serde_json` and the `Serialize` derive both target
+//! it directly.
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// Append `self` as compact JSON onto `out`.
+pub trait Serialize {
+    fn serialize_json(&self, out: &mut String);
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out)
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                let v = *self as f64;
+                if v.is_finite() {
+                    // `{}` prints integral floats without a decimal point,
+                    // which is still valid JSON.
+                    out.push_str(&format!("{v}"));
+                } else {
+                    // JSON has no NaN/Inf; serde_json emits null.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+/// JSON string escaping shared with the derive output and `serde_json`.
+pub fn escape_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        escape_str(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        escape_str(self, out);
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        escape_str(&self.to_string(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.serialize_json(out),
+        }
+    }
+}
+
+fn serialize_seq<'a, T: Serialize + 'a>(
+    items: impl Iterator<Item = &'a T>,
+    out: &mut String,
+) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.serialize_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    #[test]
+    fn primitives_render_as_json() {
+        let mut s = String::new();
+        42u32.serialize_json(&mut s);
+        s.push(' ');
+        (-3i64).serialize_json(&mut s);
+        s.push(' ');
+        0.5f64.serialize_json(&mut s);
+        s.push(' ');
+        true.serialize_json(&mut s);
+        assert_eq!(s, "42 -3 0.5 true");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut s = String::new();
+        "a\"b\\c\n".serialize_json(&mut s);
+        assert_eq!(s, r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn vectors_and_options_nest() {
+        let mut s = String::new();
+        vec![Some(1u32), None, Some(3)].serialize_json(&mut s);
+        assert_eq!(s, "[1,null,3]");
+    }
+}

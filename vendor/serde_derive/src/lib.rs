@@ -1,0 +1,120 @@
+//! Offline stub of `serde_derive`. Supports `#[derive(Serialize)]` on
+//! named-field structs (the only shape this workspace derives), parsing
+//! the token stream by hand so no syn/quote dependency is needed.
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts the field identifiers of a named-field struct body.
+///
+/// Walks the brace group's top-level tokens: skips `#[...]` attributes and
+/// visibility modifiers, records the identifier before each top-level `:`,
+/// then skips the type (tracking `<...>` nesting so commas inside generics
+/// don't split fields).
+fn named_fields(body: &proc_macro::Group) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.stream().into_iter().peekable();
+    loop {
+        // Field start: attributes, then visibility, then the name.
+        let mut name: Option<String> = None;
+        while let Some(tt) = tokens.next() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    // attribute: consume the following [...] group
+                    let _ = tokens.next();
+                }
+                TokenTree::Ident(id) if id.to_string() == "pub" => {
+                    // visibility, possibly pub(crate): consume a paren group
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = tokens.next();
+                        }
+                    }
+                }
+                TokenTree::Ident(id) => {
+                    name = Some(id.to_string());
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(name) = name else { break };
+        // Expect `:` then skip the type up to a top-level comma.
+        let mut angle_depth: i32 = 0;
+        let mut last_punct = ' ';
+        let mut saw_colon = false;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if !saw_colon {
+                        if c == ':' {
+                            saw_colon = true;
+                        }
+                    } else {
+                        match c {
+                            '<' => angle_depth += 1,
+                            '>' if last_punct != '-' => angle_depth -= 1,
+                            ',' if angle_depth == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    last_punct = c;
+                }
+                _ => last_punct = ' ',
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut iter = input.into_iter();
+    // Find `struct <Name> { ... }`, skipping attributes/visibility/doc.
+    let mut struct_name: Option<String> = None;
+    let mut body: Option<proc_macro::Group> = None;
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            if id.to_string() == "struct" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    struct_name = Some(name.to_string());
+                }
+                for rest in iter.by_ref() {
+                    if let TokenTree::Group(g) = rest {
+                        if g.delimiter() == Delimiter::Brace {
+                            body = Some(g);
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+        }
+    }
+    let (Some(name), Some(body)) = (struct_name, body) else {
+        return "compile_error!(\"serde_derive stub supports only named-field structs\");"
+            .parse()
+            .expect("error tokens parse");
+    };
+    let fields = named_fields(&body);
+    let mut writes = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            writes.push_str("out.push(',');");
+        }
+        writes.push_str(&format!(
+            "out.push_str(\"\\\"{f}\\\":\");serde::Serialize::serialize_json(&self.{f}, out);"
+        ));
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+            fn serialize_json(&self, out: &mut String) {{\n\
+                out.push('{{'); {writes} out.push('}}');\n\
+            }}\n\
+        }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
