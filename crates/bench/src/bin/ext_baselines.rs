@@ -53,7 +53,7 @@ fn main() {
     let cfg = PipelineConfig::default();
 
     let mut rows = Vec::new();
-    let mut measure = |axis: &str, x: usize, scenario: ScenarioConfig, rows: &mut Vec<Row>| {
+    let measure = |axis: &str, x: usize, scenario: ScenarioConfig, rows: &mut Vec<Row>| {
         let sim = h.simulate(&host, scenario);
         let budget = sim.fakes.len();
         let rj = pipeline::precision(&pipeline::rejecto_suspects(&sim, &cfg, budget), &sim.is_fake);

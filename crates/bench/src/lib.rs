@@ -12,6 +12,8 @@
 //! * prints a paper-style text table and writes machine-readable JSON rows
 //!   under `results/`.
 
+#![forbid(unsafe_code)]
+
 pub mod plot;
 
 use serde::Serialize;

@@ -88,8 +88,8 @@ mod tests {
         let sweep = RejectoConfig::default().k_sweep();
         let values: Vec<f64> = sweep.iter().map(|k| k.value()).collect();
         // Spam regime ratio ≈ 0.43 and legit regime ratio ≈ 4 both inside.
-        assert!(values.first().unwrap() < &0.43);
-        assert!(values.last().unwrap() > &4.0);
+        assert!(values.first().expect("sweep is non-empty") < &0.43);
+        assert!(values.last().expect("sweep is non-empty") > &4.0);
         assert!(values.len() >= 10, "sweep too coarse: {values:?}");
     }
 

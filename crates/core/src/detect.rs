@@ -185,6 +185,8 @@ impl IterativeDetector {
                 k: cut.k.value(),
                 round: report.rounds,
             });
+            #[cfg(feature = "debug-invariants")]
+            crate::invariants::assert_report_bookkeeping(g, &report);
 
             // Prune the group with its links and rejections.
             let mut keep = vec![true; current.num_nodes()];

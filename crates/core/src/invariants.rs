@@ -1,0 +1,117 @@
+//! Debug-build invariant checkers for the detection pipeline, compiled only
+//! under the `debug-invariants` feature.
+//!
+//! Two bookkeeping schemes in this crate are incremental and therefore
+//! corruptible by a wrong delta: [`rejection::Partition`] maintains its
+//! cross-edge counters through `switch`, and
+//! [`crate::IterativeDetector::detect`] accumulates disjoint spammer groups
+//! across pruning rounds. The checkers here re-derive both from scratch and
+//! panic on the first disagreement. They are wired into [`crate::MaarSolver`]
+//! and the pruning loop, and public so tests (and `cargo xtask check`'s
+//! determinism harness) can apply them to arbitrary outputs.
+
+use crate::DetectionReport;
+use rejection::{AugmentedGraph, Partition, Region};
+
+/// Re-derives a partition's incremental cut counters from the graph and
+/// asserts they match: coverage (`p` assigns a region to exactly the nodes
+/// of `g`), the suspect count, `cross_friendships` (friendships with
+/// endpoints in different regions), and `cross_rejections` (rejections cast
+/// by the legit region on the suspect region).
+///
+/// # Panics
+///
+/// Panics on the first counter that disagrees with recomputation.
+pub fn assert_partition_bookkeeping(g: &AugmentedGraph, p: &Partition) {
+    assert_eq!(
+        p.len(),
+        g.num_nodes(),
+        "partition covers {} nodes, graph has {}",
+        p.len(),
+        g.num_nodes()
+    );
+    let suspects = g.nodes().filter(|&u| p.region(u) == Region::Suspect).count();
+    assert_eq!(
+        suspects,
+        p.suspect_count(),
+        "suspect_count {} but {suspects} nodes are in the suspect region",
+        p.suspect_count()
+    );
+
+    let mut cross_f = 0u64;
+    let mut cross_r = 0u64;
+    for u in g.nodes() {
+        for &v in g.friends(u) {
+            if u < v && p.region(u) != p.region(v) {
+                cross_f += 1;
+            }
+        }
+        // `u` rejected `v`: counts iff the rejector is Legit and the
+        // rejectee Suspect (the ⟨Ū, U⟩ direction of §IV-B).
+        if p.region(u) == Region::Legit {
+            for &v in g.rejected_by(u) {
+                if p.region(v) == Region::Suspect {
+                    cross_r += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(
+        p.cross_friendships(),
+        cross_f,
+        "cross_friendships counter {} but {cross_f} friendships cross the cut",
+        p.cross_friendships()
+    );
+    assert_eq!(
+        p.cross_rejections(),
+        cross_r,
+        "cross_rejections counter {} but {cross_r} rejections cross the cut",
+        p.cross_rejections()
+    );
+}
+
+/// Checks the pruning loop's accumulated state on the *original* graph `g`:
+/// groups must be pairwise disjoint (a pruned node can never resurface),
+/// every member must name a node of `g`, round numbers must be recorded in
+/// order, and the per-group aggregate acceptance rates must be
+/// non-decreasing — the monotonicity §IV-E's prune-and-repeat argument
+/// rests on (each round removes the currently most-rejected group, so the
+/// residual graph can only look more legitimate).
+///
+/// # Panics
+///
+/// Panics on the first violated property.
+pub fn assert_report_bookkeeping(g: &AugmentedGraph, report: &DetectionReport) {
+    let mut seen = vec![false; g.num_nodes()];
+    for group in &report.groups {
+        assert!(
+            group.round >= 1 && group.round <= report.rounds,
+            "group round {} outside 1..={}",
+            group.round,
+            report.rounds
+        );
+        for &u in &group.nodes {
+            assert!(
+                u.index() < g.num_nodes(),
+                "detected node {u} out of range ({} nodes)",
+                g.num_nodes()
+            );
+            assert!(!seen[u.index()], "node {u} detected in two groups");
+            seen[u.index()] = true;
+        }
+    }
+    for w in report.groups.windows(2) {
+        assert!(
+            w[0].round < w[1].round,
+            "group rounds out of order: {} then {}",
+            w[0].round,
+            w[1].round
+        );
+        assert!(
+            w[0].acceptance_rate <= w[1].acceptance_rate + 1e-9,
+            "acceptance rate regressed across rounds: {} then {}",
+            w[0].acceptance_rate,
+            w[1].acceptance_rate
+        );
+    }
+}

@@ -35,9 +35,13 @@
 //! assert_eq!(report.suspects(), vec![NodeId(2)]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod config;
 mod detect;
 pub mod exact;
+#[cfg(feature = "debug-invariants")]
+pub mod invariants;
 mod maar;
 
 pub use config::{InitialPlacement, RejectoConfig};

@@ -85,6 +85,8 @@ impl MaarSolver {
             let init = self.initial_partition(g, legit_seeds, spammer_seeds, placement);
             let out = kl.run(init);
             let p = out.partition;
+            #[cfg(feature = "debug-invariants")]
+            crate::invariants::assert_partition_bookkeeping(g, &p);
             if p.suspect_count() == 0 || p.suspect_count() > cap {
                 continue;
             }
@@ -168,7 +170,7 @@ mod tests {
     #[test]
     fn finds_the_fake_triangle() {
         let g = scenario();
-        let cut = MaarSolver::new(RejectoConfig::default()).solve(&g, &[], &[]).unwrap();
+        let cut = MaarSolver::new(RejectoConfig::default()).solve(&g, &[], &[]).expect("scenario admits a cut");
         assert_eq!(cut.suspects(), vec![NodeId(5), NodeId(6), NodeId(7)]);
         // 2 attack friendships, 8 rejections → AC = 2/10.
         assert!((cut.acceptance_rate - 0.2).abs() < 1e-12);
@@ -181,7 +183,7 @@ mod tests {
             initial_placement: InitialPlacement::AllLegit,
             ..RejectoConfig::default()
         };
-        let cut = MaarSolver::new(config).solve(&g, &[], &[]).unwrap();
+        let cut = MaarSolver::new(config).solve(&g, &[], &[]).expect("scenario admits a cut");
         assert_eq!(cut.suspects(), vec![NodeId(5), NodeId(6), NodeId(7)]);
     }
 
@@ -201,7 +203,7 @@ mod tests {
         // a legit seed on node 0 must keep it out of any detected group.
         let cut = MaarSolver::new(RejectoConfig::default())
             .solve(&g, &[NodeId(0)], &[NodeId(5)])
-            .unwrap();
+            .expect("scenario admits a cut");
         assert!(!cut.suspects().contains(&NodeId(0)));
         assert!(cut.suspects().contains(&NodeId(5)));
     }
@@ -209,7 +211,7 @@ mod tests {
     #[test]
     fn reports_the_winning_k() {
         let g = scenario();
-        let cut = MaarSolver::new(RejectoConfig::default()).solve(&g, &[], &[]).unwrap();
+        let cut = MaarSolver::new(RejectoConfig::default()).solve(&g, &[], &[]).expect("scenario admits a cut");
         // The winning cut's friends-to-rejections ratio is 2/8 = 0.25.
         // The winning k need not equal it, but must be a sweep member.
         let sweep = RejectoConfig::default().k_sweep();

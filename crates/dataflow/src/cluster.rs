@@ -912,7 +912,7 @@ mod fault_tests {
     fn solve_result_is_identical_after_worker_crash() {
         let g = sim_graph();
         let config = RejectoConfig::default();
-        let local = MaarSolver::new(config.clone()).solve(&g, &[], &[]).expect("cut");
+        let local = MaarSolver::new(config.clone()).solve(&g, &[], &[]).expect("scenario admits a cut");
 
         let cluster = Cluster::new(&g, &ClusterConfig::default());
         // Crash two workers before the solve even starts.

@@ -21,6 +21,8 @@
 //!   [`IoStats`] counting simulated master↔worker traffic. The Table-II
 //!   harness measures wall time against graph size on this runtime.
 
+#![forbid(unsafe_code)]
+
 mod cluster;
 mod lru;
 mod rdd;

@@ -152,7 +152,7 @@ mod tests {
         let mut c = LruCache::new(2);
         assert!(c.insert(1, 'a').is_none());
         assert!(c.insert(2, 'b').is_none());
-        let evicted = c.insert(3, 'c').unwrap();
+        let evicted = c.insert(3, 'c').expect("full cache evicts");
         assert_eq!(evicted, (1, 'a'));
         assert!(!c.contains(&1));
         assert!(c.contains(&2) && c.contains(&3));
@@ -164,7 +164,7 @@ mod tests {
         c.insert(1, 'a');
         c.insert(2, 'b');
         assert_eq!(c.get(&1), Some(&'a'));
-        let evicted = c.insert(3, 'c').unwrap();
+        let evicted = c.insert(3, 'c').expect("full cache evicts");
         assert_eq!(evicted.0, 2, "2 was least recently used");
     }
 

@@ -9,6 +9,8 @@
 //! * [`Summary`] — mean/std/CI summaries for replicated experiment runs;
 //! * [`table`] — a fixed-width text-table renderer for harness output.
 
+#![forbid(unsafe_code)]
+
 mod cdf;
 mod ranking;
 mod stats;

@@ -124,8 +124,8 @@ mod tests {
     #[test]
     fn roc_curve_hits_endpoints() {
         let pts = roc_curve(&[0.1, 0.2, 0.3, 0.4], &[true, false, true, false]);
-        assert_eq!(*pts.first().unwrap(), (0.0, 0.0));
-        assert_eq!(*pts.last().unwrap(), (1.0, 1.0));
+        assert_eq!(*pts.first().expect("curve has endpoints"), (0.0, 0.0));
+        assert_eq!(*pts.last().expect("curve has endpoints"), (1.0, 1.0));
     }
 
     #[test]

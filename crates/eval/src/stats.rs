@@ -3,7 +3,7 @@
 /// Mean/dispersion summary of a sample of measurements.
 ///
 /// ```
-/// let s = eval::Summary::from_samples([1.0, 2.0, 3.0]).unwrap();
+/// let s = eval::Summary::from_samples([1.0, 2.0, 3.0]).expect("samples are non-empty");
 /// assert_eq!(s.mean, 2.0);
 /// assert_eq!(s.min, 1.0);
 /// assert_eq!(s.max, 3.0);
@@ -76,7 +76,7 @@ mod tests {
 
     #[test]
     fn summarizes_by_hand() {
-        let s = Summary::from_samples([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        let s = Summary::from_samples([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).expect("samples are non-empty");
         assert_eq!(s.n, 8);
         assert!((s.mean - 5.0).abs() < 1e-12);
         // Sample variance of this classic set is 32/7.
@@ -86,7 +86,7 @@ mod tests {
 
     #[test]
     fn single_sample_has_zero_dispersion() {
-        let s = Summary::from_samples([3.5]).unwrap();
+        let s = Summary::from_samples([3.5]).expect("samples are non-empty");
         assert_eq!(s.std, 0.0);
         assert_eq!(s.ci95(), 0.0);
         assert_eq!(s.display(), "3.5000");
@@ -100,14 +100,14 @@ mod tests {
 
     #[test]
     fn ci_shrinks_with_more_samples() {
-        let few = Summary::from_samples([0.0, 1.0]).unwrap();
-        let many = Summary::from_samples((0..32).map(|i| (i % 2) as f64)).unwrap();
+        let few = Summary::from_samples([0.0, 1.0]).expect("samples are non-empty");
+        let many = Summary::from_samples((0..32).map(|i| (i % 2) as f64)).expect("samples are non-empty");
         assert!(many.ci95() < few.ci95());
     }
 
     #[test]
     fn display_includes_interval() {
-        let s = Summary::from_samples([1.0, 2.0, 3.0]).unwrap();
+        let s = Summary::from_samples([1.0, 2.0, 3.0]).expect("samples are non-empty");
         assert!(s.display().contains('±'));
     }
 }

@@ -115,8 +115,8 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 3);
         // Header and row share the second-column start offset.
-        let pos_header = lines[0].find("long-header").unwrap();
-        let pos_row = lines[2].find('1').unwrap();
+        let pos_header = lines[0].find("long-header").expect("header present in rendering");
+        let pos_row = lines[2].find('1').expect("row present in rendering");
         assert_eq!(pos_header, pos_row);
     }
 

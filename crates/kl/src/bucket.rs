@@ -16,7 +16,7 @@
 /// b.insert(1, -2);
 /// b.insert(2, 5);
 /// assert_eq!(b.peek_max_gain(), Some(5));
-/// let (node, gain) = b.pop_max().unwrap();
+/// let (node, gain) = b.pop_max().expect("bucket holds entries");
 /// assert_eq!(gain, 5);
 /// assert!(node == 0 || node == 2);
 /// ```
@@ -196,6 +196,48 @@ impl BucketList {
         Some((node, gain))
     }
 
+    /// Walks every gain chain and re-derives the summary state the `O(1)`
+    /// operations maintain incrementally: each chained node must be marked
+    /// present, filed under the bucket its recorded gain maps to, and
+    /// back-linked correctly; the chains must reach exactly `len` nodes
+    /// (so no orphans, no cycles); no bucket above the high-water mark may
+    /// be non-empty. Compiled only under the `debug-invariants` feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first structural inconsistency.
+    #[cfg(feature = "debug-invariants")]
+    pub fn assert_consistent(&self) {
+        let mut reached = 0usize;
+        for (b, &head) in self.heads.iter().enumerate() {
+            assert!(
+                b <= self.high || head == NIL,
+                "bucket {b} non-empty above high-water mark {}",
+                self.high
+            );
+            let mut prev = NIL;
+            let mut cur = head;
+            while cur != NIL {
+                let i = cur as usize;
+                assert!(self.present[i], "chained node {cur} not marked present");
+                assert_eq!(
+                    self.gain[i] - self.min_gain,
+                    b as i64,
+                    "node {cur} with gain {} filed in bucket {b}",
+                    self.gain[i]
+                );
+                assert_eq!(self.prev[i], prev, "broken back-link at node {cur}");
+                reached += 1;
+                assert!(reached <= self.len, "cycle or orphan chain in bucket {b}");
+                prev = cur;
+                cur = self.next[i];
+            }
+        }
+        assert_eq!(reached, self.len, "{reached} nodes reachable but len = {}", self.len);
+        let present = self.present.iter().filter(|&&p| p).count();
+        assert_eq!(present, self.len, "{present} present flags but len = {}", self.len);
+    }
+
     fn settle_high(&mut self) {
         while self.high > 0 && self.heads[self.high] == NIL {
             self.high -= 1;
@@ -247,8 +289,8 @@ mod tests {
         b.insert(0, 0);
         b.insert(1, 1);
         b.update(0, 7);
-        assert_eq!(b.pop_max().unwrap(), (0, 7));
-        assert_eq!(b.pop_max().unwrap(), (1, 1));
+        assert_eq!(b.pop_max().expect("bucket holds entries"), (0, 7));
+        assert_eq!(b.pop_max().expect("bucket holds entries"), (1, 1));
     }
 
     #[test]

@@ -156,6 +156,36 @@ impl<'a> ExtendedKl<'a> {
         KlOutcome { partition: p, objective, passes, moves_committed }
     }
 
+    /// Verifies the incremental gain index against recomputation from
+    /// scratch: every node still indexed in `bucket` must carry exactly the
+    /// gain [`Partition::switch_delta`] derives under `p`, and the bucket's
+    /// own chain structure must be sound ([`BucketList::assert_consistent`]).
+    /// This is the full-strength version of the spot check `one_pass` makes
+    /// at pop time — `O(n·deg)` per call, so it is compiled only under the
+    /// `debug-invariants` feature, where `one_pass` runs it after the
+    /// initial fill and after every move's neighbor adjustments. Public so
+    /// tests can aim it at a deliberately corrupted index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first indexed node whose gain disagrees with the
+    /// recomputed value, or on bucket-chain corruption.
+    #[cfg(feature = "debug-invariants")]
+    pub fn assert_gain_index(&self, p: &Partition, bucket: &BucketList) {
+        bucket.assert_consistent();
+        for u in self.g.nodes() {
+            if !bucket.contains(u.0) {
+                continue;
+            }
+            let fresh = self.gain(p, u);
+            let indexed = bucket.gain_of(u.0);
+            assert_eq!(
+                indexed, fresh,
+                "gain index corrupt: node {u} indexed at {indexed}, recomputed {fresh}"
+            );
+        }
+    }
+
     /// One greedy pass: returns the full switching sequence with per-move
     /// gains, and the index of the best strictly positive prefix (if any).
     fn one_pass(&self, p: &Partition, bound: i64) -> (Vec<(u32, i64)>, Option<usize>) {
@@ -169,6 +199,8 @@ impl<'a> ExtendedKl<'a> {
                 bucket.insert(u.0, self.gain(&p_tmp, u));
             }
         }
+        #[cfg(feature = "debug-invariants")]
+        self.assert_gain_index(&p_tmp, &bucket);
 
         let mut seq: Vec<(u32, i64)> = Vec::with_capacity(bucket.len());
         while let Some((u, gain)) = bucket.pop_max() {
@@ -208,6 +240,8 @@ impl<'a> ExtendedKl<'a> {
                     bucket.adjust(v.0, -num * s_v * db);
                 }
             }
+            #[cfg(feature = "debug-invariants")]
+            self.assert_gain_index(&p_tmp, &bucket);
         }
 
         // Best strictly positive cumulative-gain prefix.

@@ -128,8 +128,8 @@ mod tests {
     #[test]
     fn geometric_sequence_covers_range() {
         let seq = KParam::geometric_sequence(0.1, 10.0, 2.0, 64);
-        assert!(seq.first().unwrap().value() <= 0.11);
-        assert!((seq.last().unwrap().value() - 10.0).abs() < 0.02);
+        assert!(seq.first().expect("sweep is non-empty").value() <= 0.11);
+        assert!((seq.last().expect("sweep is non-empty").value() - 10.0).abs() < 0.02);
         for w in seq.windows(2) {
             assert!(w[0].value() < w[1].value(), "sequence must increase");
         }

@@ -19,6 +19,8 @@
 //! gain an exact integer `num·ΔR − den·ΔF` — no floating-point tie-break
 //! instability in the bucket list.
 
+#![forbid(unsafe_code)]
+
 mod bucket;
 pub mod classic;
 mod extended;

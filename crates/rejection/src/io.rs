@@ -167,8 +167,8 @@ mod tests {
     fn roundtrips_exactly() {
         let g = sample();
         let mut buf = Vec::new();
-        write_augmented(&g, &mut buf).unwrap();
-        let g2 = read_augmented(buf.as_slice()).unwrap();
+        write_augmented(&g, &mut buf).expect("write to Vec cannot fail");
+        let g2 = read_augmented(buf.as_slice()).expect("roundtrip parses");
         assert_eq!(g, g2);
     }
 
@@ -176,8 +176,8 @@ mod tests {
     fn preserves_rejection_direction() {
         let g = sample();
         let mut buf = Vec::new();
-        write_augmented(&g, &mut buf).unwrap();
-        let g2 = read_augmented(buf.as_slice()).unwrap();
+        write_augmented(&g, &mut buf).expect("write to Vec cannot fail");
+        let g2 = read_augmented(buf.as_slice()).expect("roundtrip parses");
         assert!(g2.has_rejection(NodeId(1), NodeId(2)));
         assert!(!g2.has_rejection(NodeId(2), NodeId(1)));
     }
@@ -205,7 +205,7 @@ mod tests {
     #[test]
     fn tolerates_comments_and_blanks() {
         let data = format!("{HEADER_PREFIX}2\n\n# comment\nF 0 1\n");
-        let g = read_augmented(data.as_bytes()).unwrap();
+        let g = read_augmented(data.as_bytes()).expect("fixture parses");
         assert_eq!(g.num_friendships(), 1);
     }
 
@@ -213,8 +213,8 @@ mod tests {
     fn empty_graph_roundtrips() {
         let g = AugmentedGraphBuilder::new(0).build();
         let mut buf = Vec::new();
-        write_augmented(&g, &mut buf).unwrap();
-        let g2 = read_augmented(buf.as_slice()).unwrap();
+        write_augmented(&g, &mut buf).expect("write to Vec cannot fail");
+        let g2 = read_augmented(buf.as_slice()).expect("roundtrip parses");
         assert_eq!(g2.num_nodes(), 0);
     }
 }

@@ -30,6 +30,8 @@
 //! assert_eq!(p.acceptance_rate(), Some(0.0));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod augmented;
 pub mod io;
 mod partition;

@@ -271,7 +271,7 @@ mod tests {
         assert_eq!(p.cross_friendships(), 1); // the attack edge
         assert_eq!(p.cross_rejections(), 2); // 1→4, 2→4
         assert_eq!(p.suspect_count(), 2);
-        assert!((p.acceptance_rate().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((p.acceptance_rate().expect("cut has requests") - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

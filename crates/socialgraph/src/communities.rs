@@ -246,7 +246,7 @@ mod tests {
         let budget = 2 * c.len();
         let seeds = spread_seeds(&g, &c, budget, &mut rng);
         assert_eq!(seeds.len(), budget);
-        let mut per: std::collections::HashMap<u32, usize> = Default::default();
+        let mut per: std::collections::BTreeMap<u32, usize> = Default::default();
         for &s in &seeds {
             *per.entry(c.community_of(s)).or_insert(0) += 1;
         }

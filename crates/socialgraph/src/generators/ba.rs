@@ -123,7 +123,7 @@ mod tests {
     fn degree_distribution_is_skewed() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let g = BarabasiAlbert::new(2_000, 3).generate(&mut rng);
-        let max_deg = g.nodes().map(|u| g.degree(u)).max().unwrap();
+        let max_deg = g.nodes().map(|u| g.degree(u)).max().expect("generator emits at least one node");
         // A scale-free graph grows hubs far above the mean degree (~6).
         assert!(max_deg > 40, "max degree {max_deg} not hub-like");
     }

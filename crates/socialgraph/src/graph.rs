@@ -267,7 +267,55 @@ impl GraphBuilder {
             list.dedup();
             num_edges += list.len() as u64;
         }
-        Graph { adj: self.adj, num_edges: num_edges / 2 }
+        let g = Graph { adj: self.adj, num_edges: num_edges / 2 };
+        #[cfg(feature = "debug-invariants")]
+        g.assert_invariants();
+        g
+    }
+}
+
+#[cfg(feature = "debug-invariants")]
+impl Graph {
+    /// Exhaustively re-checks the structural invariants every kernel in the
+    /// workspace assumes of adjacency storage: sorted, deduplicated,
+    /// self-loop-free neighbor lists; symmetry (`v ∈ adj[u] ⇔ u ∈ adj[v]`);
+    /// and the degree-sum identity `Σ deg(u) = 2·|E|`. `O(Σ deg · log deg)`,
+    /// so it is compiled only under the `debug-invariants` feature;
+    /// [`GraphBuilder::build`] calls it automatically after every graph
+    /// construction (the only mutation point — `Graph` itself is immutable).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn assert_invariants(&self) {
+        let n = self.adj.len();
+        let mut degree_sum = 0u64;
+        for (i, list) in self.adj.iter().enumerate() {
+            let u = NodeId::from_index(i);
+            degree_sum += list.len() as u64;
+            for w in list.windows(2) {
+                assert!(
+                    w[0] < w[1],
+                    "adjacency of {u} unsorted or duplicated: {} before {}",
+                    w[0],
+                    w[1]
+                );
+            }
+            for &v in list {
+                assert!(v.index() < n, "neighbor {v} of {u} out of range ({n} nodes)");
+                assert_ne!(v, u, "self-loop on {u}");
+                assert!(
+                    self.adj[v.index()].binary_search(&u).is_ok(),
+                    "asymmetric adjacency: {v} ∈ adj[{u}] but {u} ∉ adj[{v}]"
+                );
+            }
+        }
+        assert_eq!(
+            degree_sum,
+            2 * self.num_edges,
+            "degree sum {degree_sum} disagrees with 2·|E| = {}",
+            2 * self.num_edges
+        );
     }
 }
 

@@ -6,7 +6,7 @@
 //! when they have them.
 
 use crate::{Graph, GraphBuilder, GraphError, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
 /// Reads a SNAP edge list, densely relabeling arbitrary node ids to
@@ -31,11 +31,14 @@ use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 /// ```
 pub fn read_edge_list<R: Read>(reader: R) -> Result<(Graph, Vec<u64>), GraphError> {
     let reader = BufReader::new(reader);
-    let mut ids: HashMap<u64, u32> = HashMap::new();
+    // BTreeMap rather than HashMap: this crate's kernels are under the
+    // `cargo xtask check` hash-collection ban, and the interner's dense ids
+    // must depend only on input order, never on hasher state.
+    let mut ids: BTreeMap<u64, u32> = BTreeMap::new();
     let mut labels: Vec<u64> = Vec::new();
     let mut edges: Vec<(u32, u32)> = Vec::new();
 
-    let intern = |raw: u64, ids: &mut HashMap<u64, u32>, labels: &mut Vec<u64>| -> u32 {
+    let intern = |raw: u64, ids: &mut BTreeMap<u64, u32>, labels: &mut Vec<u64>| -> u32 {
         *ids.entry(raw).or_insert_with(|| {
             labels.push(raw);
             (labels.len() - 1) as u32
@@ -92,7 +95,7 @@ mod tests {
     #[test]
     fn parses_comments_and_blank_lines() {
         let data = "# header\n\n1 2\n2 3\n\n# tail\n";
-        let (g, labels) = read_edge_list(data.as_bytes()).unwrap();
+        let (g, labels) = read_edge_list(data.as_bytes()).expect("fixture parses");
         assert_eq!(g.num_nodes(), 3);
         assert_eq!(g.num_edges(), 2);
         assert_eq!(labels, vec![1, 2, 3]);
@@ -101,7 +104,7 @@ mod tests {
     #[test]
     fn merges_directed_duplicates() {
         let data = "5 7\n7 5\n";
-        let (g, _) = read_edge_list(data.as_bytes()).unwrap();
+        let (g, _) = read_edge_list(data.as_bytes()).expect("fixture parses");
         assert_eq!(g.num_edges(), 1);
     }
 
@@ -115,8 +118,8 @@ mod tests {
     fn roundtrips_through_write_and_read() {
         let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
         let mut buf = Vec::new();
-        write_edge_list(&g, &mut buf).unwrap();
-        let (g2, _) = read_edge_list(buf.as_slice()).unwrap();
+        write_edge_list(&g, &mut buf).expect("write to Vec cannot fail");
+        let (g2, _) = read_edge_list(buf.as_slice()).expect("roundtrip parses");
         assert_eq!(g2.num_nodes(), 4);
         assert_eq!(g2.num_edges(), 3);
     }
@@ -124,7 +127,7 @@ mod tests {
     #[test]
     fn handles_large_sparse_labels() {
         let data = "1000000000 2000000000\n";
-        let (g, labels) = read_edge_list(data.as_bytes()).unwrap();
+        let (g, labels) = read_edge_list(data.as_bytes()).expect("fixture parses");
         assert_eq!(g.num_nodes(), 2);
         assert_eq!(labels, vec![1_000_000_000, 2_000_000_000]);
     }

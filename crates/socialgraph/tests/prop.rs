@@ -47,8 +47,8 @@ proptest! {
     #[test]
     fn edge_list_roundtrip(g in random_graph(24)) {
         let mut buf = Vec::new();
-        io::write_edge_list(&g, &mut buf).unwrap();
-        let (g2, labels) = io::read_edge_list(buf.as_slice()).unwrap();
+        io::write_edge_list(&g, &mut buf).expect("write to Vec cannot fail");
+        let (g2, labels) = io::read_edge_list(buf.as_slice()).expect("roundtrip parses");
         prop_assert_eq!(g2.num_edges(), g.num_edges());
         for (u, v) in g2.edges() {
             let (ou, ov) = (labels[u.index()] as u32, labels[v.index()] as u32);

@@ -25,6 +25,8 @@
 //! assert!(ranking.score(NodeId(1)) > ranking.score(NodeId(4)));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod fence;
 
 pub use fence::{SybilFence, SybilFenceConfig};

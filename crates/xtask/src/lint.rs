@@ -1,0 +1,410 @@
+//! The source-scanning lint pass behind `cargo xtask check`.
+//!
+//! Four rules, all enforcing the determinism-and-robustness contract the
+//! reproduction depends on (DESIGN.md "Static analysis & invariants"):
+//!
+//! 1. **no-unwrap** — library crates may not call `.unwrap()`; failures
+//!    must surface either as `Result`s or as `.expect("<invariant>")`
+//!    with a message long enough to actually state the invariant.
+//! 2. **no-unseeded-rng** — `thread_rng()` draws from OS entropy and
+//!    destroys run-to-run reproducibility; every RNG in the pipeline must
+//!    be seeded (`ChaCha8Rng::seed_from_u64`). The vendored `rand` stub
+//!    does not even provide `thread_rng`, so this rule guards against a
+//!    future re-introduction when real crates.io access returns.
+//! 3. **no-hash-collections** — the deterministic kernels (`socialgraph`,
+//!    `kl`, `core`) may not use `std::collections::HashMap`/`HashSet` at
+//!    all: iteration order is hasher-seed-dependent, and a single ordered
+//!    scan leaking into community detection or a KL pass silently breaks
+//!    byte-for-byte reproducibility. Use `BTreeMap`/`BTreeSet` or sorted
+//!    `Vec`s.
+//! 4. **forbid-unsafe** — every crate root must carry
+//!    `#![forbid(unsafe_code)]`.
+//!
+//! The scanner is line-based over comment-stripped text (no AST, no
+//! dependencies). A line can opt out of a rule with an explicit pragma in
+//! a trailing comment: `// xtask-allow: <rule-name>`.
+
+use std::fmt;
+
+/// Crates (by directory name under `crates/`) subject to **no-unwrap**.
+/// The binary crates (`rejecto` itself, `bench`'s experiment bins) may
+/// still unwrap at the top level where a panic is an acceptable exit.
+pub const NO_UNWRAP_CRATES: &[&str] = &[
+    "socialgraph",
+    "kl",
+    "rejection",
+    "core",
+    "votetrust",
+    "sybilrank",
+    "eval",
+    "dataflow",
+];
+
+/// Crates whose kernels must stay free of hash collections entirely.
+pub const NO_HASH_CRATES: &[&str] = &["socialgraph", "kl", "core"];
+
+/// Crates exempt from **no-unseeded-rng**: `bench` measures wall-clock
+/// behavior and may randomize; `xtask` holds this linter's own fixtures.
+pub const RNG_EXEMPT_CRATES: &[&str] = &["bench", "xtask"];
+
+/// Minimum `.expect("...")` message length that can plausibly state an
+/// invariant ("fixture parses", "sweep is non-empty", ...).
+pub const MIN_EXPECT_MESSAGE: usize = 8;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule name, as accepted by `xtask-allow:`.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// A source file plus the workspace context the rules key on.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceFile<'a> {
+    /// Repo-relative path, e.g. `crates/kl/src/bucket.rs`.
+    pub rel_path: &'a str,
+    /// Directory name under `crates/`, or `"rejecto"` for the root package.
+    pub crate_name: &'a str,
+    /// Whether this file is a crate root (`lib.rs` / `main.rs`).
+    pub is_crate_root: bool,
+    /// File contents.
+    pub text: &'a str,
+}
+
+/// Strips `//` line comments and `/* */` block comments while preserving
+/// the line structure (every stripped character that is not a newline
+/// becomes a space, so columns and line numbers survive). String literals
+/// are respected: comment markers inside them do not start a comment, and
+/// string *contents* are kept, since the rules target code tokens that
+/// would not normally appear quoted in this workspace.
+pub fn strip_comments(src: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        Str,
+        Char,
+        Line,
+        Block(usize),
+    }
+    let mut out = String::with_capacity(src.len());
+    let mut state = State::Code;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            State::Code => match (c, next) {
+                ('/', Some('/')) => {
+                    state = State::Line;
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                ('/', Some('*')) => {
+                    state = State::Block(1);
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                ('"', _) => {
+                    state = State::Str;
+                    out.push(c);
+                }
+                ('\'', _) => {
+                    // Char literal or lifetime; treat as a literal only
+                    // when it closes within a few chars ('a' / '\n').
+                    let closes = bytes.get(i + 2) == Some(&'\'')
+                        || (bytes.get(i + 1) == Some(&'\\') && bytes.get(i + 3) == Some(&'\''));
+                    if closes {
+                        state = State::Char;
+                    }
+                    out.push(c);
+                }
+                _ => out.push(c),
+            },
+            State::Str => {
+                out.push(c);
+                if c == '\\' {
+                    if let Some(n) = next {
+                        out.push(n);
+                        i += 2;
+                        continue;
+                    }
+                } else if c == '"' {
+                    state = State::Code;
+                }
+            }
+            State::Char => {
+                out.push(c);
+                if c == '\\' {
+                    if let Some(n) = next {
+                        out.push(n);
+                        i += 2;
+                        continue;
+                    }
+                } else if c == '\'' {
+                    state = State::Code;
+                }
+            }
+            State::Line => {
+                if c == '\n' {
+                    out.push('\n');
+                    state = State::Code;
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::Block(depth) => match (c, next) {
+                ('*', Some('/')) => {
+                    out.push_str("  ");
+                    i += 2;
+                    state = if depth == 1 { State::Code } else { State::Block(depth - 1) };
+                    continue;
+                }
+                ('/', Some('*')) => {
+                    out.push_str("  ");
+                    i += 2;
+                    state = State::Block(depth + 1);
+                    continue;
+                }
+                ('\n', _) => out.push('\n'),
+                _ => out.push(' '),
+            },
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether the *raw* line carries an `xtask-allow:` pragma for `rule`.
+fn allowed(raw_line: &str, rule: &str) -> bool {
+    raw_line
+        .split("xtask-allow:")
+        .nth(1)
+        .is_some_and(|rest| rest.trim_start().starts_with(rule))
+}
+
+/// Scans one `.expect(` call starting at `idx` (pointing at `.expect(`)
+/// and returns the literal message if the argument is a plain string
+/// literal, `None` for computed messages (which the rule lets through —
+/// a `format!` invariant message is fine).
+fn expect_literal(stripped_line: &str, idx: usize) -> Option<&str> {
+    let after = &stripped_line[idx + ".expect(".len()..];
+    let after = after.trim_start();
+    let rest = after.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Runs every applicable rule over one file.
+pub fn lint_file(f: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let stripped = strip_comments(f.text);
+    let raw_lines: Vec<&str> = f.text.lines().collect();
+
+    let unwrap_banned = NO_UNWRAP_CRATES.contains(&f.crate_name);
+    let hash_banned = NO_HASH_CRATES.contains(&f.crate_name);
+    let rng_banned = !RNG_EXEMPT_CRATES.contains(&f.crate_name);
+
+    for (lineno0, line) in stripped.lines().enumerate() {
+        let raw = raw_lines.get(lineno0).copied().unwrap_or("");
+        let line_no = lineno0 + 1;
+
+        if unwrap_banned && line.contains(".unwrap()") && !allowed(raw, "no-unwrap") {
+            out.push(Violation {
+                file: f.rel_path.to_string(),
+                line: line_no,
+                rule: "no-unwrap",
+                message: "`.unwrap()` in a library crate; return a Result or use \
+                          `.expect(\"<invariant>\")`"
+                    .to_string(),
+            });
+        }
+        if unwrap_banned && !allowed(raw, "no-unwrap") {
+            let mut start = 0;
+            while let Some(pos) = line[start..].find(".expect(") {
+                let idx = start + pos;
+                if let Some(msg) = expect_literal(line, idx) {
+                    if msg.len() < MIN_EXPECT_MESSAGE {
+                        out.push(Violation {
+                            file: f.rel_path.to_string(),
+                            line: line_no,
+                            rule: "no-unwrap",
+                            message: format!(
+                                "`.expect(\"{msg}\")` message too weak to state an \
+                                 invariant (< {MIN_EXPECT_MESSAGE} chars)"
+                            ),
+                        });
+                    }
+                }
+                start = idx + ".expect(".len();
+            }
+        }
+        if rng_banned && line.contains("thread_rng") && !allowed(raw, "no-unseeded-rng") {
+            out.push(Violation {
+                file: f.rel_path.to_string(),
+                line: line_no,
+                rule: "no-unseeded-rng",
+                message: "`thread_rng` is unseeded and breaks reproducibility; \
+                          use `ChaCha8Rng::seed_from_u64`"
+                    .to_string(),
+            });
+        }
+        if hash_banned
+            && (line.contains("HashMap") || line.contains("HashSet"))
+            && !allowed(raw, "no-hash-collections")
+        {
+            out.push(Violation {
+                file: f.rel_path.to_string(),
+                line: line_no,
+                rule: "no-hash-collections",
+                message: "hash collections have hasher-seeded iteration order; \
+                          deterministic kernels must use BTreeMap/BTreeSet or \
+                          sorted Vecs"
+                    .to_string(),
+            });
+        }
+    }
+
+    if f.is_crate_root && !stripped.contains("#![forbid(unsafe_code)]") {
+        out.push(Violation {
+            file: f.rel_path.to_string(),
+            line: 1,
+            rule: "forbid-unsafe",
+            message: "crate root must declare `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file<'a>(crate_name: &'a str, text: &'a str) -> SourceFile<'a> {
+        SourceFile { rel_path: "crates/test/src/x.rs", crate_name, is_crate_root: false, text }
+    }
+
+    #[test]
+    fn unwrap_in_library_crate_is_flagged() {
+        let src = "fn f() { let x = opt.unwrap(); }\n";
+        let v = lint_file(&file("kl", src));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unwrap");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_outside_banned_crates_passes() {
+        let src = "fn f() { let x = opt.unwrap(); }\n";
+        assert!(lint_file(&file("bench", src)).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_comment_or_doc_is_ignored() {
+        let src = "// calls .unwrap() internally\n/// like .unwrap()\nfn f() {}\n";
+        assert!(lint_file(&file("kl", src)).is_empty());
+    }
+
+    #[test]
+    fn unwrap_with_pragma_is_allowed() {
+        let src = "let x = opt.unwrap(); // xtask-allow: no-unwrap\n";
+        assert!(lint_file(&file("kl", src)).is_empty());
+    }
+
+    #[test]
+    fn weak_expect_message_is_flagged() {
+        let src = "let x = opt.expect(\"oops\");\n";
+        let v = lint_file(&file("core", src));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("too weak"));
+    }
+
+    #[test]
+    fn invariant_expect_message_passes() {
+        let src = "let x = opt.expect(\"sweep is non-empty\");\n";
+        assert!(lint_file(&file("core", src)).is_empty());
+    }
+
+    #[test]
+    fn computed_expect_message_passes() {
+        let src = "let x = opt.expect(&format!(\"no {u}\"));\n";
+        assert!(lint_file(&file("core", src)).is_empty());
+    }
+
+    #[test]
+    fn thread_rng_is_flagged_everywhere_but_exempt_crates() {
+        let src = "let mut rng = rand::thread_rng();\n";
+        let v = lint_file(&file("simulator", src));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unseeded-rng");
+        assert!(lint_file(&file("bench", src)).is_empty());
+    }
+
+    #[test]
+    fn hash_collections_flagged_in_kernel_crates_only() {
+        let src = "use std::collections::HashMap;\n";
+        let v = lint_file(&file("socialgraph", src));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-hash-collections");
+        assert!(lint_file(&file("eval", src)).is_empty());
+    }
+
+    #[test]
+    fn hash_in_doc_comment_is_ignored() {
+        let src = "//! never use HashMap here\nfn f() {}\n";
+        assert!(lint_file(&file("socialgraph", src)).is_empty());
+    }
+
+    #[test]
+    fn crate_root_without_forbid_unsafe_is_flagged() {
+        let f = SourceFile {
+            rel_path: "crates/test/src/lib.rs",
+            crate_name: "votetrust",
+            is_crate_root: true,
+            text: "//! docs\npub fn f() {}\n",
+        };
+        let v = lint_file(&f);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "forbid-unsafe");
+    }
+
+    #[test]
+    fn crate_root_with_forbid_unsafe_passes() {
+        let f = SourceFile {
+            rel_path: "crates/test/src/lib.rs",
+            crate_name: "votetrust",
+            is_crate_root: true,
+            text: "//! docs\n#![forbid(unsafe_code)]\npub fn f() {}\n",
+        };
+        assert!(lint_file(&f).is_empty());
+    }
+
+    #[test]
+    fn strip_comments_preserves_line_numbers() {
+        let src = "a /* x\ny */ b\n// c\nd\n";
+        let stripped = strip_comments(src);
+        assert_eq!(stripped.lines().count(), src.lines().count());
+        assert_eq!(stripped.lines().nth(3), Some("d"));
+    }
+
+    #[test]
+    fn comment_marker_inside_string_is_kept() {
+        let src = "let url = \"https://example.com\"; let x = 1;\n";
+        let stripped = strip_comments(src);
+        assert!(stripped.contains("let x = 1;"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Repo-local task runner, invoked as `cargo xtask <command>` via the
+//! alias in `.cargo/config.toml`.
+//!
+//! Commands:
+//!
+//! * `check` — run the static-analysis lint pass ([`lint`]) over the
+//!   workspace sources.
+//! * `check --determinism` — additionally run the in-process determinism
+//!   harness ([`determinism`]): simulate → detect twice from one seed,
+//!   diff byte-for-byte.
+//!
+//! Exit code 0 means clean; 1 means violations (each printed as
+//! `file:line: [rule] message`) or a determinism failure; 2 means usage
+//! error.
+
+#![forbid(unsafe_code)]
+
+mod determinism;
+mod lint;
+
+use lint::{SourceFile, Violation};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("check") => {
+            let mut with_determinism = false;
+            for flag in it {
+                match flag {
+                    "--determinism" => with_determinism = true,
+                    other => {
+                        eprintln!("unknown flag {other:?}; usage: cargo xtask check [--determinism]");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            check(with_determinism)
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}; usage: cargo xtask check [--determinism]");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo xtask check [--determinism]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(with_determinism: bool) -> ExitCode {
+    let root = repo_root();
+    let mut failed = false;
+
+    let violations = run_lints(&root);
+    let files = collect_sources(&root).len();
+    if violations.is_empty() {
+        println!("lint: OK — {files} files scanned, 0 violations");
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!("lint: FAILED — {files} files scanned, {} violation(s)", violations.len());
+        failed = true;
+    }
+
+    if with_determinism {
+        match determinism::run() {
+            Ok(summary) => println!("{summary}"),
+            Err(why) => {
+                println!("determinism: FAILED — {why}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest dir.
+fn repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Every first-party `.rs` file, as `(absolute path, crate name,
+/// is_crate_root)`. Scans `crates/*/{src,tests,benches}` and the root
+/// package's `src/`; `vendor/` (third-party stubs) and `target/` are out
+/// of scope. Deterministic order (sorted walk).
+fn collect_sources(root: &Path) -> Vec<(PathBuf, String, bool)> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    for crate_dir in sorted_dirs(&crates_dir) {
+        let crate_name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("crate directory has a utf-8 name")
+            .to_string();
+        for sub in ["src", "tests", "benches"] {
+            walk_rs(&crate_dir.join(sub), &mut |path| {
+                let is_root = sub == "src"
+                    && path.parent() == Some(crate_dir.join("src").as_path())
+                    && matches!(
+                        path.file_name().and_then(|n| n.to_str()),
+                        Some("lib.rs") | Some("main.rs")
+                    );
+                out.push((path.to_path_buf(), crate_name.clone(), is_root));
+            });
+        }
+    }
+    let root_src = root.join("src");
+    walk_rs(&root_src, &mut |path| {
+        let is_root = path.parent() == Some(root_src.as_path())
+            && matches!(
+                path.file_name().and_then(|n| n.to_str()),
+                Some("lib.rs") | Some("main.rs")
+            );
+        out.push((path.to_path_buf(), "rejecto".to_string(), is_root));
+    });
+    out
+}
+
+fn run_lints(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (path, crate_name, is_crate_root) in collect_sources(root) {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                violations.push(Violation {
+                    file: rel(root, &path),
+                    line: 0,
+                    rule: "io",
+                    message: format!("unreadable source file: {e}"),
+                });
+                continue;
+            }
+        };
+        let rel_path = rel(root, &path);
+        violations.extend(lint::lint_file(&SourceFile {
+            rel_path: &rel_path,
+            crate_name: &crate_name,
+            is_crate_root,
+            text: &text,
+        }));
+    }
+    violations
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root).unwrap_or(path).display().to_string()
+}
+
+fn sorted_dirs(dir: &Path) -> Vec<PathBuf> {
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    dirs
+}
+
+/// Depth-first sorted walk collecting `.rs` files under `dir` (no-op when
+/// the directory does not exist).
+fn walk_rs(dir: &Path, visit: &mut dyn FnMut(&Path)) {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_rs(&path, visit);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            visit(&path);
+        }
+    }
+}

@@ -44,6 +44,8 @@
 //! assert!(accuracy > 0.9, "precision {accuracy}");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use dataflow;
 pub use eval;
 pub use kl;

@@ -1,5 +1,7 @@
 //! The `rejecto` CLI entry point; see [`rejecto::cli`] for the commands.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
