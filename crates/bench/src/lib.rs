@@ -166,6 +166,16 @@ pub fn replicas() -> usize {
         .unwrap_or(1)
 }
 
+/// MAAR k-sweep worker threads from `REJECTO_THREADS` (default 0 = all
+/// cores). Purely a wall-clock knob: the sweep's reduction is ordered by
+/// sweep index, so every figure and table is byte-identical at any value.
+pub fn threads() -> usize {
+    std::env::var("REJECTO_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 /// Runs a one-dimensional sweep on one host graph: for each `x`,
 /// `make_config(x)` builds the scenario, both detectors run, and a
 /// [`ComparisonRow`] is produced. With `REJECTO_REPLICAS > 1` each point
@@ -181,7 +191,8 @@ where
     F: Fn(f64) -> ScenarioConfig,
 {
     let host = harness.host(graph);
-    let cfg = PipelineConfig::default();
+    let mut cfg = PipelineConfig::default();
+    cfg.rejecto.threads = threads();
     let reps = replicas();
     xs.iter()
         .map(|&x| {

@@ -46,6 +46,12 @@ pub struct RejectoConfig {
     /// stays admissible, while the near-complement cuts (≈0.98) are
     /// rejected.
     pub max_suspect_fraction: f64,
+    /// Worker threads for the `k` sweep. `0` (the default) resolves to the
+    /// machine's available parallelism at solve time; `1` runs the exact
+    /// serial code path (no pool machinery). Results are byte-identical
+    /// for every value — the sweep's reduction is ordered by sweep index,
+    /// not completion order — so this is purely a wall-clock knob.
+    pub threads: usize,
 }
 
 impl Default for RejectoConfig {
@@ -63,6 +69,7 @@ impl Default for RejectoConfig {
             max_rounds: 64,
             initial_placement: InitialPlacement::RejectionRatio(0.5),
             max_suspect_fraction: 0.6,
+            threads: 0,
         }
     }
 }
@@ -76,6 +83,16 @@ impl RejectoConfig {
     /// [`KParam::geometric_sequence`]).
     pub fn k_sweep(&self) -> Vec<KParam> {
         KParam::geometric_sequence(self.k_min, self.k_max, self.k_factor, self.k_denominator)
+    }
+
+    /// The sweep worker count this config resolves to: `threads`, or the
+    /// machine's available parallelism when `threads == 0`.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            crate::pool::available_threads()
+        } else {
+            self.threads
+        }
     }
 }
 
@@ -91,6 +108,15 @@ mod tests {
         assert!(values.first().expect("sweep is non-empty") < &0.43);
         assert!(values.last().expect("sweep is non-empty") > &4.0);
         assert!(values.len() >= 10, "sweep too coarse: {values:?}");
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto() {
+        let auto = RejectoConfig::default();
+        assert_eq!(auto.threads, 0);
+        assert!(auto.effective_threads() >= 1);
+        let pinned = RejectoConfig { threads: 3, ..RejectoConfig::default() };
+        assert_eq!(pinned.effective_threads(), 3);
     }
 
     #[test]

@@ -1,4 +1,5 @@
 use crate::{MaarSolver, RejectoConfig};
+use kl::KParam;
 use rejection::{AugmentedGraph, NodeId};
 
 /// Manually inspected ground-truth users the OSN provider supplies
@@ -34,21 +35,24 @@ pub enum Termination {
 }
 
 /// One spammer group cut off in one round of the iterative detection.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DetectedGroup {
     /// Members, in original-graph ids, ascending.
     pub nodes: Vec<NodeId>,
     /// Aggregate acceptance rate of the group's requests at detection time
     /// (on the residual graph).
     pub acceptance_rate: f64,
-    /// The sweep `k` that produced the winning cut.
-    pub k: f64,
+    /// The sweep `k` that produced the winning cut, as the exact rational
+    /// the sweep solved with ([`KParam`] keeps KL gains integral; rounding
+    /// it to `f64` here would discard the only exact record of which
+    /// linear objective won).
+    pub k: KParam,
     /// 1-based round in which the group was found.
     pub round: usize,
 }
 
 /// Output of [`IterativeDetector::detect`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DetectionReport {
     /// Detected groups in detection order. Because each round solves MAAR
     /// on the residual graph, acceptance rates are non-decreasing: the
@@ -182,7 +186,7 @@ impl IterativeDetector {
             report.groups.push(DetectedGroup {
                 nodes,
                 acceptance_rate: cut.acceptance_rate,
-                k: cut.k.value(),
+                k: cut.k,
                 round: report.rounds,
             });
             #[cfg(feature = "debug-invariants")]

@@ -43,7 +43,11 @@ pub mod exact;
 #[cfg(feature = "debug-invariants")]
 pub mod invariants;
 mod maar;
+mod pool;
 
 pub use config::{InitialPlacement, RejectoConfig};
 pub use detect::{DetectedGroup, DetectionReport, IterativeDetector, Seeds, Termination};
+/// Re-exported so report consumers can name the exact rational sweep
+/// parameter [`DetectedGroup::k`] carries without depending on `kl`.
+pub use kl::KParam;
 pub use maar::{MaarCut, MaarSolver};

@@ -65,6 +65,25 @@ impl MaarSolver {
         self.sweep(g, legit_seeds, spammer_seeds, InitialPlacement::AllLegit)
     }
 
+    /// The largest admissible suspect-region size on an `n`-node residual
+    /// graph. Clamped to at least 1: on small graphs
+    /// `floor(max_suspect_fraction · n)` rounds to 0, which would silently
+    /// reject *every* candidate cut — even a single blatant spammer.
+    fn suspect_cap(&self, n: usize) -> usize {
+        ((self.config.max_suspect_fraction * n as f64).floor() as usize).max(1)
+    }
+
+    /// Sweeps every `k`, each an independent extended-KL run, and reduces
+    /// to the admissible cut with the lowest acceptance rate.
+    ///
+    /// The per-`k` runs execute on a fixed-size worker pool
+    /// ([`crate::pool::run_indexed`]) sized by
+    /// [`RejectoConfig::effective_threads`]; the graph is shared immutably
+    /// across workers and each run's result lands in its own sweep-index
+    /// slot. The reduction below then scans slots in sweep order and keeps
+    /// a candidate only when *strictly* better — exactly the serial loop's
+    /// tie-break (lowest acceptance rate, earliest sweep index wins) — so
+    /// thread count cannot change the winner.
     fn sweep(
         &self,
         g: &AugmentedGraph,
@@ -72,9 +91,10 @@ impl MaarSolver {
         spammer_seeds: &[NodeId],
         placement: InitialPlacement,
     ) -> Option<MaarCut> {
-        let mut best: Option<MaarCut> = None;
-        let cap = (self.config.max_suspect_fraction * g.num_nodes() as f64).floor() as usize;
-        for k in self.config.k_sweep() {
+        let cap = self.suspect_cap(g.num_nodes());
+        let ks = self.config.k_sweep();
+        let solve_one = |i: usize| -> Option<MaarCut> {
+            let k = ks[i];
             let mut kl = ExtendedKl::new(
                 g,
                 ExtendedKlConfig { k, max_passes: self.config.max_kl_passes },
@@ -88,15 +108,22 @@ impl MaarSolver {
             #[cfg(feature = "debug-invariants")]
             crate::invariants::assert_partition_bookkeeping(g, &p);
             if p.suspect_count() == 0 || p.suspect_count() > cap {
-                continue;
+                return None;
             }
-            let Some(ac) = p.acceptance_rate() else { continue };
+            let ac = p.acceptance_rate()?;
+            Some(MaarCut { partition: p, acceptance_rate: ac, k })
+        };
+        let threads = self.config.effective_threads();
+        let candidates = crate::pool::run_indexed(threads, ks.len(), solve_one);
+
+        let mut best: Option<MaarCut> = None;
+        for cut in candidates.into_iter().flatten() {
             let better = match &best {
                 None => true,
-                Some(b) => ac < b.acceptance_rate,
+                Some(b) => cut.acceptance_rate < b.acceptance_rate,
             };
             if better {
-                best = Some(MaarCut { partition: p, acceptance_rate: ac, k });
+                best = Some(cut);
             }
         }
         best
@@ -109,7 +136,7 @@ impl MaarSolver {
         spammer_seeds: &[NodeId],
         placement: InitialPlacement,
     ) -> Partition {
-        let cap = (self.config.max_suspect_fraction * g.num_nodes() as f64).floor() as usize;
+        let cap = self.suspect_cap(g.num_nodes());
         let mut region = match placement {
             InitialPlacement::AllLegit => vec![Region::Legit; g.num_nodes()],
             InitialPlacement::RejectionRatio(threshold) => {
@@ -206,6 +233,47 @@ mod tests {
             .expect("scenario admits a cut");
         assert!(!cut.suspects().contains(&NodeId(0)));
         assert!(cut.suspects().contains(&NodeId(5)));
+    }
+
+    #[test]
+    fn tiny_graph_cap_clamps_to_one() {
+        // 3 legit users, 1 obvious spammer, rejected by everyone. With
+        // max_suspect_fraction = 0.2 the unclamped cap would floor to 0
+        // (0.2 · 4 = 0.8) and every candidate cut would be discarded.
+        let mut b = AugmentedGraphBuilder::new(4);
+        b.add_friendship(NodeId(0), NodeId(1));
+        b.add_friendship(NodeId(1), NodeId(2));
+        b.add_friendship(NodeId(0), NodeId(2));
+        for r in 0..3u32 {
+            b.add_rejection(NodeId(r), NodeId(3));
+        }
+        let g = b.build();
+        let config = RejectoConfig { max_suspect_fraction: 0.2, ..RejectoConfig::default() };
+        let cut = MaarSolver::new(config)
+            .solve(&g, &[], &[])
+            .expect("the clamped cap must admit the single-spammer cut");
+        assert_eq!(cut.suspects(), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_cut() {
+        let g = scenario();
+        let serial = MaarSolver::new(RejectoConfig { threads: 1, ..RejectoConfig::default() })
+            .solve(&g, &[], &[])
+            .expect("scenario admits a cut");
+        for threads in [2, 4, 7] {
+            let config = RejectoConfig { threads, ..RejectoConfig::default() };
+            let cut = MaarSolver::new(config)
+                .solve(&g, &[], &[])
+                .expect("scenario admits a cut");
+            assert_eq!(cut.suspects(), serial.suspects(), "threads={threads}");
+            assert_eq!(cut.k, serial.k, "threads={threads}");
+            assert_eq!(
+                cut.acceptance_rate.to_bits(),
+                serial.acceptance_rate.to_bits(),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

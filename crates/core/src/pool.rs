@@ -1,0 +1,107 @@
+//! Deterministic fixed-size worker pool for the MAAR `k` sweep.
+//!
+//! Each `k` in the sweep is an *independent* extended-KL run against the
+//! same immutable [`rejection::AugmentedGraph`] (the CSR adjacency is
+//! read-only for the whole sweep), so the sweep is embarrassingly
+//! parallel. What must NOT vary with thread count is the *answer*: the
+//! sweep's reduction picks the winner by lowest acceptance rate with ties
+//! broken by sweep index, so the caller needs every job's result slotted
+//! back at its own index, not in completion order.
+//!
+//! [`run_indexed`] provides exactly that contract: a shared atomic cursor
+//! hands out job indices to a fixed pool of `crossbeam` scoped workers,
+//! each worker writes its result into the slot owned by the job index, and
+//! the caller receives `Vec<Option<T>>` in job order. Scheduling order,
+//! thread interleaving, and pool size are all invisible in the output —
+//! which is what lets `cargo xtask check --determinism` assert that
+//! `threads = 1` and `threads = 4` produce byte-identical artifacts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `worker(i)` for every `i in 0..jobs` on up to `threads` scoped
+/// worker threads and returns the results in job order.
+///
+/// * `threads <= 1` (or `jobs <= 1`) runs everything on the calling thread
+///   — the exact serial code path, no pool machinery at all.
+/// * Workers pull the next job index from a shared atomic cursor, so a
+///   slow job never blocks the remaining jobs behind a static chunking.
+/// * The output is indexed by job, never by completion order; two calls
+///   with the same `worker` yield identical vectors for any `threads`.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker after the scope joins the rest.
+pub(crate) fn run_indexed<T, F>(threads: usize, jobs: usize, worker: F) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Option<T> + Sync,
+{
+    if threads <= 1 || jobs <= 1 {
+        return (0..jobs).map(&worker).collect();
+    }
+    let pool_size = threads.min(jobs);
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..pool_size {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let result = worker(i);
+                *slots[i].lock().expect("no worker holding a slot lock panics") = result;
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("all workers joined before slots are drained"))
+        .collect()
+}
+
+/// The machine's available parallelism, used when
+/// [`crate::RejectoConfig::threads`] is 0 (auto).
+pub(crate) fn available_threads() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_job_order_regardless_of_thread_count() {
+        let serial = run_indexed(1, 37, |i| Some(i * i));
+        for threads in [2, 3, 4, 8] {
+            let parallel = run_indexed(threads, 37, |i| Some(i * i));
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn none_results_keep_their_slots() {
+        let out = run_indexed(4, 10, |i| (i % 3 == 0).then_some(i));
+        for (i, slot) in out.iter().enumerate() {
+            assert_eq!(*slot, (i % 3 == 0).then_some(i));
+        }
+    }
+
+    #[test]
+    fn zero_jobs_yield_empty_output() {
+        let out: Vec<Option<u32>> = run_indexed(4, 0, |_| None);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let out = run_indexed(16, 3, Some);
+        assert_eq!(out, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

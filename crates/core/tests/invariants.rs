@@ -4,7 +4,7 @@
 #![cfg(feature = "debug-invariants")]
 
 use rejecto_core::invariants::{assert_partition_bookkeeping, assert_report_bookkeeping};
-use rejecto_core::{DetectedGroup, DetectionReport};
+use rejecto_core::{DetectedGroup, DetectionReport, KParam};
 use rejection::{AugmentedGraph, AugmentedGraphBuilder, NodeId, Partition, Region};
 
 fn fixture() -> AugmentedGraph {
@@ -63,7 +63,7 @@ fn group(round: usize, rate: f64, nodes: &[u32]) -> DetectedGroup {
     DetectedGroup {
         nodes: nodes.iter().map(|&n| NodeId(n)).collect(),
         acceptance_rate: rate,
-        k: 1.0,
+        k: KParam::new(1, 1),
         round,
     }
 }

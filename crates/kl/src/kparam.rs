@@ -62,8 +62,16 @@ impl KParam {
     }
 
     /// The geometric sweep `k_min, k_min·factor, …` capped at `k_max`,
-    /// rationalized at resolution `den` and deduplicated. This is the
-    /// paper's "iterate k through a geometric sequence" (§IV-D).
+    /// rationalized at resolution `den`. This is the paper's "iterate k
+    /// through a geometric sequence" (§IV-D).
+    ///
+    /// The returned sequence is **strictly increasing** under the exact
+    /// rational order ([`Ord`]): a candidate whose rationalization does
+    /// not exceed the previous member is dropped. With coarse denominators
+    /// rounding collapses nearby sweep points onto the same (or, through
+    /// fraction reduction, a not-greater) rational, and a sweep that
+    /// revisits a `k` would both waste a full KL run and break the
+    /// "earliest sweep index wins" tie-break contract of the reduction.
     ///
     /// # Panics
     ///
@@ -73,11 +81,11 @@ impl KParam {
         assert!(k_min > 0.0 && k_max > 0.0, "k bounds must be positive");
         assert!(k_min <= k_max, "k_min {k_min} exceeds k_max {k_max}");
         assert!(factor > 1.0, "geometric factor must exceed 1");
-        let mut out = Vec::new();
+        let mut out: Vec<KParam> = Vec::new();
         let mut k = k_min;
         loop {
             let p = KParam::approximate(k, den);
-            if out.last() != Some(&p) {
+            if out.last().is_none_or(|last| p > *last) {
                 out.push(p);
             }
             if k >= k_max {
@@ -85,7 +93,29 @@ impl KParam {
             }
             k = (k * factor).min(k_max);
         }
+        debug_assert!(
+            out.windows(2).all(|w| w[0] < w[1]),
+            "geometric sweep must be strictly increasing"
+        );
         out
+    }
+}
+
+impl PartialOrd for KParam {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for KParam {
+    /// Exact rational order by cross-multiplication in `u128` (no float
+    /// rounding, no overflow for any pair of reduced `u64` fractions).
+    /// Consistent with `Eq`: reduced fractions are unique, so
+    /// `a.cmp(&b) == Equal` iff `a == b`.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let lhs = self.num as u128 * other.den as u128;
+        let rhs = other.num as u128 * self.den as u128;
+        lhs.cmp(&rhs)
     }
 }
 
@@ -140,6 +170,28 @@ mod tests {
         let seq = KParam::geometric_sequence(1.0, 1.0, 2.0, 4);
         assert_eq!(seq.len(), 1);
         assert_eq!(seq[0].value(), 1.0);
+    }
+
+    #[test]
+    fn exact_order_agrees_with_values_and_eq() {
+        let a = KParam::new(1, 3);
+        let b = KParam::new(1, 2);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(KParam::new(6, 4).cmp(&KParam::new(3, 2)), std::cmp::Ordering::Equal);
+        // Cross-multiplication must not overflow on extreme fractions.
+        assert!(KParam::new(1, u64::MAX) < KParam::new(u64::MAX, 1));
+    }
+
+    #[test]
+    fn coarse_denominator_sequence_stays_strictly_increasing() {
+        // At den = 1 every value below 1.5 rounds to 1/1; a merely
+        // adjacent-dedup sequence would be fine here, but the constructor
+        // must guarantee strictness for any shape.
+        let seq = KParam::geometric_sequence(0.05, 20.0, 1.1, 1);
+        for w in seq.windows(2) {
+            assert!(w[0] < w[1], "non-increasing: {} then {}", w[0], w[1]);
+        }
     }
 
     #[test]

@@ -81,6 +81,41 @@ proptest! {
     }
 }
 
+proptest! {
+    /// `geometric_sequence` is strictly increasing under the exact
+    /// rational order for any bounds, factor, and denominator resolution —
+    /// including coarse denominators where rounding collapses many sweep
+    /// points onto few rationals. Also: the sequence is non-empty, starts
+    /// no higher than the rationalized `k_min`, and never exceeds the
+    /// rationalized `k_max`.
+    #[test]
+    fn geometric_sequence_is_strictly_monotone(
+        k_min in 0.01f64..5.0,
+        span in 0.0f64..50.0,
+        factor in 1.01f64..4.0,
+        den in 1u64..200,
+    ) {
+        let k_max = k_min + span;
+        let seq = KParam::geometric_sequence(k_min, k_max, factor, den);
+        prop_assert!(!seq.is_empty());
+        for w in seq.windows(2) {
+            prop_assert!(
+                w[0] < w[1],
+                "sequence not strictly increasing: {} then {}", w[0], w[1]
+            );
+        }
+        let lo = KParam::approximate(k_min, den);
+        let hi = KParam::approximate(k_max, den);
+        prop_assert!(seq[0] <= lo, "first member {} above rationalized k_min {}", seq[0], lo);
+        prop_assert!(
+            *seq.last().expect("sequence is non-empty") <= hi,
+            "last member {} above rationalized k_max {}",
+            seq.last().expect("sequence is non-empty"),
+            hi
+        );
+    }
+}
+
 fn augmented_graph(n: usize) -> impl Strategy<Value = AugmentedGraph> {
     let nodes = 3..n;
     nodes.prop_flat_map(|n| {

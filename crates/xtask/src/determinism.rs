@@ -43,16 +43,19 @@ fn graph_bytes(sim: &SimOutput) -> Result<Vec<u8>, String> {
     Ok(bytes)
 }
 
-/// Canonical, bit-exact rendering of a detection report.
+/// Canonical, bit-exact rendering of a detection report. The winning `k`
+/// is an exact rational, rendered as `num/den`; acceptance rates are
+/// compared by `f64::to_bits`.
 fn render_report(report: &DetectionReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "rounds={}", report.rounds);
     for g in &report.groups {
         let _ = writeln!(
             out,
-            "round={} k_bits={:016x} ac_bits={:016x} nodes={:?}",
+            "round={} k={}/{} ac_bits={:016x} nodes={:?}",
             g.round,
-            g.k.to_bits(),
+            g.k.num(),
+            g.k.den(),
             g.acceptance_rate.to_bits(),
             g.nodes
         );
@@ -60,8 +63,17 @@ fn render_report(report: &DetectionReport) -> String {
     out
 }
 
+/// The thread counts the parallel-sweep check exercises: the exact serial
+/// code path vs a real worker pool.
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
 fn detect(sim: &SimOutput) -> DetectionReport {
     let det = IterativeDetector::new(RejectoConfig::default());
+    det.detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES))
+}
+
+fn detect_with_threads(sim: &SimOutput, threads: usize) -> DetectionReport {
+    let det = IterativeDetector::new(RejectoConfig { threads, ..RejectoConfig::default() });
     det.detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES))
 }
 
@@ -102,9 +114,31 @@ pub fn run() -> Result<String, String> {
         ));
     }
 
+    // Parallel-sweep check: the k-sweep worker pool must be invisible in
+    // the artifacts. Render the report at each thread count and diff
+    // against the default-config run above (which uses auto threads), so
+    // serial, fixed-pool, and auto-sized runs all agree byte-for-byte.
+    for threads in THREAD_COUNTS {
+        let rt = render_report(&detect_with_threads(&sim1, threads));
+        if rt != report1 {
+            let diff_line = rt
+                .lines()
+                .zip(report1.lines())
+                .position(|(a, b)| a != b)
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            return Err(format!(
+                "parallel sweep is nondeterministic: threads={threads} report \
+                 differs from the auto-threads report (first differing line \
+                 {diff_line})\n--- threads={threads} ---\n{rt}--- auto ---\n{report1}"
+            ));
+        }
+    }
+
     Ok(format!(
         "determinism: OK — {} nodes, {} graph bytes, {} detection rounds, \
-         both runs byte-identical (seed {SEED})",
+         both runs byte-identical; k-sweep artifacts identical at \
+         threads=1/4/auto (seed {SEED})",
         sim1.graph.num_nodes(),
         bytes1.len(),
         r1.rounds

@@ -1,6 +1,6 @@
 //! The source-scanning lint pass behind `cargo xtask check`.
 //!
-//! Four rules, all enforcing the determinism-and-robustness contract the
+//! Five rules, all enforcing the determinism-and-robustness contract the
 //! reproduction depends on (DESIGN.md "Static analysis & invariants"):
 //!
 //! 1. **no-unwrap** — library crates may not call `.unwrap()`; failures
@@ -19,6 +19,14 @@
 //!    `Vec`s.
 //! 4. **forbid-unsafe** — every crate root must carry
 //!    `#![forbid(unsafe_code)]`.
+//! 5. **no-ad-hoc-threads** — thread spawning is confined to the
+//!    designated pool/cluster modules ([`THREAD_POOL_MODULES`]). Ad-hoc
+//!    concurrency is where nondeterminism sneaks in: a completion-order
+//!    reduction or a shared mutable accumulator gives answers that vary
+//!    with scheduling. The sanctioned modules funnel all parallelism
+//!    through index-slotted, order-independent reductions (the MAAR sweep
+//!    pool, the dataflow cluster), which is what keeps `--determinism`
+//!    meaningful on multicore runs.
 //!
 //! The scanner is line-based over comment-stripped text (no AST, no
 //! dependencies). A line can opt out of a rule with an explicit pragma in
@@ -46,6 +54,23 @@ pub const NO_HASH_CRATES: &[&str] = &["socialgraph", "kl", "core"];
 /// Crates exempt from **no-unseeded-rng**: `bench` measures wall-clock
 /// behavior and may randomize; `xtask` holds this linter's own fixtures.
 pub const RNG_EXEMPT_CRATES: &[&str] = &["bench", "xtask"];
+
+/// The only first-party modules allowed to spawn OS threads
+/// (**no-ad-hoc-threads**). Everything else must route parallelism
+/// through these: `core/pool.rs` is the deterministic MAAR-sweep worker
+/// pool; the `dataflow` pair is the scoped map/reduce substrate and the
+/// master/worker cluster. Repo-relative paths.
+pub const THREAD_POOL_MODULES: &[&str] = &[
+    "crates/core/src/pool.rs",
+    "crates/dataflow/src/cluster.rs",
+    "crates/dataflow/src/rdd.rs",
+];
+
+/// Crates exempt from **no-ad-hoc-threads**: `xtask` holds this linter's
+/// own pattern list and fixtures, whose string literals would otherwise
+/// flag themselves (the scanner keeps string contents when stripping
+/// comments).
+pub const THREAD_EXEMPT_CRATES: &[&str] = &["xtask"];
 
 /// Minimum `.expect("...")` message length that can plausibly state an
 /// invariant ("fixture parses", "sweep is non-empty", ...).
@@ -218,6 +243,8 @@ pub fn lint_file(f: &SourceFile) -> Vec<Violation> {
     let unwrap_banned = NO_UNWRAP_CRATES.contains(&f.crate_name);
     let hash_banned = NO_HASH_CRATES.contains(&f.crate_name);
     let rng_banned = !RNG_EXEMPT_CRATES.contains(&f.crate_name);
+    let threads_banned = !THREAD_POOL_MODULES.contains(&f.rel_path)
+        && !THREAD_EXEMPT_CRATES.contains(&f.crate_name);
 
     for (lineno0, line) in stripped.lines().enumerate() {
         let raw = raw_lines.get(lineno0).copied().unwrap_or("");
@@ -260,6 +287,22 @@ pub fn lint_file(f: &SourceFile) -> Vec<Violation> {
                 rule: "no-unseeded-rng",
                 message: "`thread_rng` is unseeded and breaks reproducibility; \
                           use `ChaCha8Rng::seed_from_u64`"
+                    .to_string(),
+            });
+        }
+        if threads_banned
+            && ["thread::spawn", "thread::scope", "thread::Builder"]
+                .iter()
+                .any(|pat| line.contains(pat))
+            && !allowed(raw, "no-ad-hoc-threads")
+        {
+            out.push(Violation {
+                file: f.rel_path.to_string(),
+                line: line_no,
+                rule: "no-ad-hoc-threads",
+                message: "ad-hoc thread spawning risks completion-order \
+                          nondeterminism; route parallelism through a \
+                          THREAD_POOL_MODULES member (core::pool, dataflow)"
                     .to_string(),
             });
         }
@@ -367,6 +410,49 @@ mod tests {
     fn hash_in_doc_comment_is_ignored() {
         let src = "//! never use HashMap here\nfn f() {}\n";
         assert!(lint_file(&file("socialgraph", src)).is_empty());
+    }
+
+    #[test]
+    fn ad_hoc_thread_spawn_is_flagged() {
+        for src in [
+            "let h = std::thread::spawn(|| 1);\n",
+            "std::thread::scope(|s| { s.spawn(|| {}); });\n",
+            "let b = std::thread::Builder::new();\n",
+        ] {
+            let v = lint_file(&file("core", src));
+            assert_eq!(v.len(), 1, "{src:?}");
+            assert_eq!(v[0].rule, "no-ad-hoc-threads");
+        }
+    }
+
+    #[test]
+    fn thread_pool_modules_may_spawn() {
+        let f = SourceFile {
+            rel_path: "crates/core/src/pool.rs",
+            crate_name: "core",
+            is_crate_root: false,
+            text: "crossbeam::thread::scope(|s| { s.spawn(|| {}); });\n",
+        };
+        assert!(lint_file(&f).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_with_pragma_is_allowed() {
+        let src = "std::thread::spawn(f); // xtask-allow: no-ad-hoc-threads\n";
+        assert!(lint_file(&file("core", src)).is_empty());
+    }
+
+    #[test]
+    fn thread_mention_in_comment_is_ignored() {
+        let src = "// never call thread::spawn here\nfn f() {}\n";
+        assert!(lint_file(&file("core", src)).is_empty());
+    }
+
+    #[test]
+    fn xtask_fixtures_are_thread_exempt() {
+        let src = "let pats = [\"thread::spawn\", \"thread::scope\"];\n";
+        assert!(lint_file(&file("xtask", src)).is_empty());
+        assert_eq!(lint_file(&file("core", src)).len(), 1);
     }
 
     #[test]

@@ -52,7 +52,7 @@ fn main() {
             "CAPTCHA only"
         };
         println!(
-            "  round {:>2}: {:>5} accounts, acceptance rate {:.3} (k={:.2}) -> {action} ({tp} true fakes)",
+            "  round {:>2}: {:>5} accounts, acceptance rate {:.3} (k={}) -> {action} ({tp} true fakes)",
             g.round,
             g.nodes.len(),
             g.acceptance_rate,

@@ -173,6 +173,7 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
     let threshold: Option<f64> = args.get_opt("threshold")?;
     let truth_path = args.get("truth");
     let json: bool = args.get_or("json", false)?;
+    let threads: usize = args.get_or("threads", 0)?;
     args.finish()?;
 
     let g = rejection::io::read_augmented(File::open(&graph_path)?)?;
@@ -182,7 +183,7 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
         (None, Some(t)) => Termination::AcceptanceThreshold(t),
         (None, None) => Termination::AcceptanceThreshold(0.5),
     };
-    let detector = IterativeDetector::new(RejectoConfig::default());
+    let detector = IterativeDetector::new(RejectoConfig { threads, ..RejectoConfig::default() });
     let report = detector.detect(&g, &Seeds::default(), termination);
 
     if json {
@@ -194,7 +195,13 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
                 serde_json::json!({
                     "round": group.round,
                     "acceptance_rate": group.acceptance_rate,
-                    "k": group.k,
+                    // The winning sweep parameter as the exact rational the
+                    // solver used; `value` is a convenience rendering only.
+                    "k": serde_json::json!({
+                        "num": group.k.num(),
+                        "den": group.k.den(),
+                        "value": group.k.value(),
+                    }),
                     "nodes": ids,
                 })
             )
@@ -205,7 +212,7 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
         for group in &report.groups {
             writeln!(
                 out,
-                "  round {:>2}: {:>6} accounts at acceptance rate {:.4} (k = {:.3})",
+                "  round {:>2}: {:>6} accounts at acceptance rate {:.4} (k = {})",
                 group.round,
                 group.nodes.len(),
                 group.acceptance_rate,
@@ -363,6 +370,7 @@ fn defense<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
     let budget: usize = args.get_or("budget", 1_000)?;
     let seeds = parse_seed_list(&args.require("seeds")?)?;
     let truth_path = args.get("truth");
+    let threads: usize = args.get_or("threads", 0)?;
     args.finish()?;
 
     let g = rejection::io::read_augmented(File::open(&graph_path)?)?;
@@ -375,7 +383,7 @@ fn defense<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
         }
     }
 
-    let detector = IterativeDetector::new(RejectoConfig::default());
+    let detector = IterativeDetector::new(RejectoConfig { threads, ..RejectoConfig::default() });
     let report = detector.detect(
         &g,
         &Seeds { legit: seeds.clone(), spammer: Vec::new() },
@@ -493,7 +501,7 @@ mod tests {
     }
 
     #[test]
-    fn detect_json_emits_one_line_per_group() {
+    fn detect_json_round_trips_the_exact_k() {
         let dir = tmpdir();
         let stem = dir.join("json");
         let stem_s = stem.to_str().unwrap();
@@ -503,10 +511,42 @@ mod tests {
             &["--graph", &format!("{stem_s}.rjg"), "--budget", "40", "--json", "true"],
         )
         .unwrap();
+        let sweep = RejectoConfig::default().k_sweep();
+        assert!(!out.lines().collect::<Vec<_>>().is_empty(), "no groups emitted");
         for line in out.lines() {
             let v: serde_json::Value = serde_json::from_str(line).expect("json line");
             assert!(v["acceptance_rate"].is_number());
+            // The serialized num/den must reconstruct the winning KParam
+            // exactly — it is a member of the configured sweep, and its
+            // reported float value matches the rational bit-for-bit.
+            let num = v["k"]["num"].as_u64().expect("k.num is a u64");
+            let den = v["k"]["den"].as_u64().expect("k.den is a u64");
+            let k = rejecto_core::KParam::new(num, den);
+            assert!(sweep.contains(&k), "k = {k} not in the default sweep");
+            assert_eq!(
+                v["k"]["value"].as_f64().expect("k.value is a float").to_bits(),
+                k.value().to_bits()
+            );
         }
+    }
+
+    #[test]
+    fn detect_output_is_independent_of_thread_count() {
+        let dir = tmpdir();
+        let stem = dir.join("threads");
+        let stem_s = stem.to_str().unwrap();
+        run_to_string("simulate", &["--out", stem_s, "--scale", "0.03", "--fakes", "40"]).unwrap();
+        let graph = format!("{stem_s}.rjg");
+        let run_with = |threads: &str| {
+            run_to_string(
+                "detect",
+                &["--graph", &graph, "--budget", "40", "--json", "true", "--threads", threads],
+            )
+            .unwrap()
+        };
+        let serial = run_with("1");
+        assert_eq!(serial, run_with("4"), "threads=4 output differs from serial");
+        assert_eq!(serial, run_with("0"), "threads=auto output differs from serial");
     }
 
     #[test]

@@ -45,6 +45,10 @@ COMMANDS:
                 --threshold <f>       ... or at this acceptance rate
                 --truth <path>        optional ground truth for scoring
                 --json <bool>         machine-readable output [false]
+                --threads <n>         k-sweep worker threads; 0 = all
+                                      cores, 1 = serial [default 0].
+                                      Results are identical for every
+                                      value (deterministic reduction).
 
   stats       Structural statistics of a graph.
                 --graph <path>        SNAP edge list, or
@@ -66,6 +70,7 @@ COMMANDS:
                 --seeds <ids>         known-legit seeds, comma-separated
                 --budget <n>          suspects to prune [1000]
                 --truth <path>        ground truth for AUC scoring
+                --threads <n>         k-sweep worker threads [default 0]
 
 Run `rejecto <COMMAND> --help` for the command's flags.
 ";

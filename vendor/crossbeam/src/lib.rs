@@ -1,6 +1,46 @@
 //! Offline stub of `crossbeam`, exposing the `channel` module surface the
-//! dataflow master/worker cluster uses, implemented over `std::sync::mpsc`.
+//! dataflow master/worker cluster uses (implemented over `std::sync::mpsc`)
+//! and the `thread` module's scoped-spawn surface the MAAR sweep pool uses
+//! (implemented over `std::thread::scope`).
 #![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads: spawn workers that may borrow from the caller's
+    //! stack, with a guarantee that every worker is joined before `scope`
+    //! returns.
+    //!
+    //! Unlike historical `crossbeam::thread::scope`, which returned a
+    //! `Result` carrying child panics, this stub forwards to
+    //! `std::thread::scope`, which re-raises a child panic on the caller's
+    //! thread after joining the rest — strictly simpler for callers that
+    //! treat worker panics as fatal (all of this workspace).
+
+    /// Runs `f` with a [`std::thread::Scope`]; every thread spawned on the
+    /// scope is joined before this returns. A child panic propagates to
+    /// the caller after all other children have been joined.
+    pub fn scope<'env, F, T>(f: F) -> T
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+    {
+        std::thread::scope(f)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_workers_can_borrow_stack_data() {
+            let data = [1u64, 2, 3, 4];
+            let sum = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|c| s.spawn(move || c.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker join")).sum::<u64>()
+            });
+            assert_eq!(sum, 10);
+        }
+    }
+}
 
 pub mod channel {
     use std::sync::mpsc;
