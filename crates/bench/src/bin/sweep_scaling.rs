@@ -14,7 +14,7 @@
 //! be a bug, not a result. Rows land in `results/sweep_scaling.json`.
 
 use bench::Harness;
-use rejecto_core::{DetectionReport, IterativeDetector, RejectoConfig, Seeds, Termination};
+use rejecto_core::{Completion, DetectionReport, IterativeDetector, RejectoConfig, Seeds, Termination};
 use serde::Serialize;
 use simulator::SimOutput;
 use socialgraph::surrogates::Surrogate;
@@ -63,6 +63,15 @@ fn main() {
     }
 
     let (serial_report, serial_secs) = detect(&sim, 1, budget);
+    // A run truncated by a deadline or round budget would make every
+    // speedup row meaningless; the default config carries no budgets, so
+    // anything but Complete here is a harness bug.
+    assert_eq!(
+        serial_report.completion,
+        Completion::Complete,
+        "benchmark baseline returned a partial report: {:?}",
+        serial_report.completion
+    );
     eprintln!(
         "  users={} fakes={} sweep={} threads=1 time={serial_secs:.2}s (baseline)",
         sim.graph.num_nodes(),

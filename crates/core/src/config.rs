@@ -1,4 +1,46 @@
+use crate::faults::FaultPlan;
 use kl::KParam;
+use std::time::Duration;
+
+/// Runtime budgets for one detection run. All limits are optional;
+/// [`RunBudget::unlimited`] (the default) reproduces the legacy behavior
+/// exactly. A run that exhausts any budget stops at the next safe boundary
+/// and returns a well-formed report marked
+/// [`crate::Completion::Partial`] — it never aborts.
+///
+/// These budgets are deliberately distinct from the *convergence caps*
+/// ([`RejectoConfig::max_kl_passes`], [`RejectoConfig::max_rounds`]): a
+/// run that hits a cap has still converged per configuration and reports
+/// [`crate::Completion::Complete`]; a run that hits a budget was cut short.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Wall-clock deadline for the whole run, polled at KL pass and sweep
+    /// boundaries. Interruption points depend on elapsed time, so the
+    /// *content* of a deadline-tripped partial report is machine-dependent
+    /// — only its well-formedness is guaranteed.
+    pub deadline: Option<Duration>,
+    /// Global budget of KL passes across every `k` and every round.
+    /// Allocation of passes to concurrent workers is scheduling-dependent,
+    /// so like `deadline` this trades determinism for boundedness.
+    pub max_kl_passes: Option<u64>,
+    /// Total pruning rounds to execute before stopping with a partial
+    /// report. Unlike the other two limits this one is *deterministic*
+    /// (the round boundary is a pure function of the input), which makes
+    /// it the interruption mode of choice for kill-and-resume tests.
+    pub max_rounds: Option<usize>,
+}
+
+impl RunBudget {
+    /// No limits — the legacy run-to-completion behavior.
+    pub fn unlimited() -> Self {
+        RunBudget::default()
+    }
+
+    /// Whether any limit is armed.
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some() || self.max_kl_passes.is_some() || self.max_rounds.is_some()
+    }
+}
 
 /// How the KL search is initialized for each `k` in the sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,6 +94,12 @@ pub struct RejectoConfig {
     /// for every value — the sweep's reduction is ordered by sweep index,
     /// not completion order — so this is purely a wall-clock knob.
     pub threads: usize,
+    /// Runtime budgets (deadline / global KL passes / total rounds). The
+    /// default is unlimited, which reproduces the legacy behavior exactly.
+    pub budget: RunBudget,
+    /// Synthetic faults to arm for this run ([`crate::faults`]); empty by
+    /// default. Used by the fault-injection tests and the CI fault matrix.
+    pub faults: FaultPlan,
 }
 
 impl Default for RejectoConfig {
@@ -70,6 +118,8 @@ impl Default for RejectoConfig {
             initial_placement: InitialPlacement::RejectionRatio(0.5),
             max_suspect_fraction: 0.6,
             threads: 0,
+            budget: RunBudget::unlimited(),
+            faults: FaultPlan::none(),
         }
     }
 }

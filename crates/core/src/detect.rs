@@ -1,6 +1,10 @@
+use crate::checkpoint::Checkpoint;
+use crate::faults::FaultInjector;
+use crate::runtime::{RunContext, RuntimeError};
 use crate::{MaarSolver, RejectoConfig};
-use kl::KParam;
+use kl::{CancelReason, CancelToken, KParam};
 use rejection::{AugmentedGraph, NodeId};
+use std::io;
 
 /// Manually inspected ground-truth users the OSN provider supplies
 /// (§III-B, §IV-F). Ids refer to the *original* graph handed to
@@ -34,6 +38,49 @@ pub enum Termination {
     },
 }
 
+/// What stopped a run before its natural termination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InterruptReason {
+    /// The wall-clock deadline ([`crate::RunBudget::deadline`] or an
+    /// injected `deadline=<ms>ms` fault) expired.
+    Deadline,
+    /// The global KL pass budget ([`crate::RunBudget::max_kl_passes`]) was
+    /// exhausted.
+    PassBudget,
+    /// The round budget ([`crate::RunBudget::max_rounds`]) was reached.
+    RoundBudget,
+    /// The run was cancelled explicitly.
+    Cancelled,
+}
+
+/// Whether a [`DetectionReport`] covers the full run or was cut short by a
+/// budget (§ DESIGN.md "Failure model": a budgeted run *degrades* to the
+/// groups found so far; it never aborts).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Completion {
+    /// The run terminated on its own (termination rule, convergence, or
+    /// the `max_rounds` convergence cap).
+    #[default]
+    Complete,
+    /// The run was interrupted at a safe boundary; `groups` holds every
+    /// fully completed round's result.
+    Partial {
+        /// Pruning rounds that ran to completion (equals the report's
+        /// `rounds` field).
+        completed_rounds: usize,
+        /// Sweep indices of the *interrupted* round that converged before
+        /// the interruption, ascending; empty when the run stopped exactly
+        /// on a round boundary. Wall-clock interruptions land at
+        /// scheduling-dependent points, so this is a progress diagnostic,
+        /// not a deterministic artifact.
+        completed_k_indices: Vec<usize>,
+        /// What stopped the run.
+        reason: InterruptReason,
+    },
+}
+
 /// One spammer group cut off in one round of the iterative detection.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DetectedGroup {
@@ -59,7 +106,15 @@ pub struct DetectionReport {
     /// most blatant spammers surface first (§IV-E).
     pub groups: Vec<DetectedGroup>,
     /// Rounds executed (including a final round that found nothing).
+    /// Interrupted rounds do not count.
     pub rounds: usize,
+    /// Whether the run covered everything it was asked to
+    /// ([`Completion::Complete`]) or stopped at a budget boundary.
+    pub completion: Completion,
+    /// Degraded-operation diagnostics: sweep indices skipped after
+    /// persistent worker panics, checkpoint writes that failed. The report
+    /// remains well-formed; these record what was lost along the way.
+    pub failures: Vec<RuntimeError>,
 }
 
 impl DetectionReport {
@@ -71,6 +126,11 @@ impl DetectionReport {
     /// Total number of detected suspects.
     pub fn num_suspects(&self) -> usize {
         self.groups.iter().map(|g| g.nodes.len()).sum()
+    }
+
+    /// Whether the run was cut short by a budget.
+    pub fn is_partial(&self) -> bool {
+        !matches!(self.completion, Completion::Complete)
     }
 
     /// Exactly `n` suspects: whole groups in detection order, with the
@@ -103,6 +163,44 @@ impl DetectionReport {
     }
 }
 
+/// A checkpoint consumer: called after every completed pruning round with
+/// the state needed to resume. Errors are *recorded* on the report as
+/// [`RuntimeError::CheckpointIo`] — a failed write degrades resumability,
+/// never the detection itself.
+pub type CheckpointSink<'a> = &'a mut dyn FnMut(&Checkpoint) -> io::Result<()>;
+
+/// Mid-run loop state: the report so far, the residual graph, and its
+/// mapping back to original ids. Built fresh for a new run or rebuilt from
+/// a [`Checkpoint`] for a resume.
+struct LoopState {
+    report: DetectionReport,
+    current: AugmentedGraph,
+    to_original: Vec<NodeId>,
+}
+
+impl LoopState {
+    fn fresh(g: &AugmentedGraph) -> LoopState {
+        LoopState {
+            report: DetectionReport::default(),
+            current: g.clone(),
+            to_original: g.nodes().collect(),
+        }
+    }
+
+    /// Rebuilds the state the uninterrupted run had after the checkpointed
+    /// round. Correct because `induced_subgraph` relabels survivors in
+    /// ascending order and composes: one induction on the checkpoint's
+    /// survivor set equals the run's sequence of per-round inductions.
+    fn from_checkpoint(g: &AugmentedGraph, ckpt: &Checkpoint) -> LoopState {
+        let mut keep = vec![false; g.num_nodes()];
+        for &u in &ckpt.remaining {
+            keep[u as usize] = true;
+        }
+        let (current, to_original) = g.induced_subgraph(&keep);
+        LoopState { report: ckpt.report(), current, to_original }
+    }
+}
+
 /// The iterative MAAR-cut detector (§IV-E): repeatedly solve MAAR on the
 /// residual graph, record the suspect region as a spammer group, prune it
 /// with its links and rejections, and continue.
@@ -127,12 +225,100 @@ impl IterativeDetector {
     /// # Panics
     ///
     /// Panics if any seed id is out of range of `g`.
-    pub fn detect(&self, g: &AugmentedGraph, seeds: &Seeds, termination: Termination) -> DetectionReport {
-        let mut report = DetectionReport::default();
-        // Residual graph plus its mapping back to original ids.
-        let mut current = g.clone();
-        let mut to_original: Vec<NodeId> = g.nodes().collect();
-        let max_rounds = self.solver.config().max_rounds;
+    pub fn detect(
+        &self,
+        g: &AugmentedGraph,
+        seeds: &Seeds,
+        termination: Termination,
+    ) -> DetectionReport {
+        self.run_loop(g, seeds, termination, LoopState::fresh(g), None)
+    }
+
+    /// [`IterativeDetector::detect`], calling `sink` with a [`Checkpoint`]
+    /// after every completed pruning round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any seed id is out of range of `g`.
+    pub fn detect_with_checkpoints(
+        &self,
+        g: &AugmentedGraph,
+        seeds: &Seeds,
+        termination: Termination,
+        sink: CheckpointSink<'_>,
+    ) -> DetectionReport {
+        self.run_loop(g, seeds, termination, LoopState::fresh(g), Some(sink))
+    }
+
+    /// Continues a run from `checkpoint`, exactly as if the original run
+    /// had never stopped: given the same graph, seeds, termination, and a
+    /// deterministic configuration, the resumed report is byte-identical
+    /// to the uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::CheckpointMismatch`] (and friends) when the
+    /// checkpoint does not describe `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any seed id is out of range of `g`.
+    pub fn resume(
+        &self,
+        g: &AugmentedGraph,
+        seeds: &Seeds,
+        termination: Termination,
+        checkpoint: &Checkpoint,
+    ) -> Result<DetectionReport, RuntimeError> {
+        checkpoint.validate_against(g)?;
+        Ok(self.run_loop(g, seeds, termination, LoopState::from_checkpoint(g, checkpoint), None))
+    }
+
+    /// [`IterativeDetector::resume`] with checkpointing of the continued
+    /// rounds.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::CheckpointMismatch`] (and friends) when the
+    /// checkpoint does not describe `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any seed id is out of range of `g`.
+    pub fn resume_with_checkpoints(
+        &self,
+        g: &AugmentedGraph,
+        seeds: &Seeds,
+        termination: Termination,
+        checkpoint: &Checkpoint,
+        sink: CheckpointSink<'_>,
+    ) -> Result<DetectionReport, RuntimeError> {
+        checkpoint.validate_against(g)?;
+        Ok(self.run_loop(
+            g,
+            seeds,
+            termination,
+            LoopState::from_checkpoint(g, checkpoint),
+            Some(sink),
+        ))
+    }
+
+    /// The pruning loop. The clean-path statement order is exactly the
+    /// pre-budget implementation's — budget checks only *add* exits at
+    /// round boundaries — which is what keeps unbudgeted runs byte-
+    /// identical across this refactor and resumed runs byte-identical to
+    /// uninterrupted ones.
+    fn run_loop(
+        &self,
+        g: &AugmentedGraph,
+        seeds: &Seeds,
+        termination: Termination,
+        state: LoopState,
+        mut sink: Option<CheckpointSink<'_>>,
+    ) -> DetectionReport {
+        let LoopState { mut report, mut current, mut to_original } = state;
+        let config = self.solver.config();
+        let max_rounds = config.max_rounds;
 
         let budget = match termination {
             Termination::SuspectBudget(b) => Some(b),
@@ -145,7 +331,40 @@ impl IterativeDetector {
             Termination::BudgetOrThreshold { threshold, .. } => Some(threshold),
         };
 
+        let token = CancelToken::new();
+        let injector = FaultInjector::new(&config.faults);
+        if let Some(deadline) = config.budget.deadline {
+            token.set_deadline_in(deadline);
+        }
+        if let Some(deadline) = injector.deadline() {
+            // The token keeps the tighter of the two deadlines.
+            token.set_deadline_in(deadline);
+        }
+        if let Some(passes) = config.budget.max_kl_passes {
+            token.set_pass_budget(passes);
+        }
+        let mut ctx = RunContext { token: token.clone(), injector: injector.clone(), round: 0 };
+        let mut completion = Completion::Complete;
+
         while report.rounds < max_rounds {
+            if let Some(limit) = config.budget.max_rounds {
+                if report.rounds >= limit {
+                    completion = Completion::Partial {
+                        completed_rounds: report.rounds,
+                        completed_k_indices: Vec::new(),
+                        reason: InterruptReason::RoundBudget,
+                    };
+                    break;
+                }
+            }
+            if token.is_cancelled() {
+                completion = Completion::Partial {
+                    completed_rounds: report.rounds,
+                    completed_k_indices: Vec::new(),
+                    reason: interrupt_reason(&token),
+                };
+                break;
+            }
             report.rounds += 1;
             if let Some(b) = budget {
                 if report.num_suspects() >= b {
@@ -170,7 +389,21 @@ impl IterativeDetector {
             let legit = map(&seeds.legit);
             let spammer = map(&seeds.spammer);
 
-            let Some(cut) = self.solver.solve(&current, &legit, &spammer) else {
+            ctx.round = report.rounds;
+            let outcome = self.solver.solve_monitored(&current, &legit, &spammer, &ctx);
+            report.failures.extend(outcome.failures);
+            if outcome.interrupted {
+                // The round did not finish; it does not count, and the
+                // sweep progress becomes the partial-report diagnostic.
+                report.rounds -= 1;
+                completion = Completion::Partial {
+                    completed_rounds: report.rounds,
+                    completed_k_indices: outcome.completed_k_indices,
+                    reason: interrupt_reason(&token),
+                };
+                break;
+            }
+            let Some(cut) = outcome.cut else {
                 break;
             };
             if let Some(t) = threshold {
@@ -200,14 +433,40 @@ impl IterativeDetector {
             let (next, original_of_next) = current.induced_subgraph(&keep);
             to_original = original_of_next.iter().map(|u| to_original[u.index()]).collect();
             current = next;
+
+            if let Some(write) = sink.as_mut() {
+                let ckpt = Checkpoint::capture(g, &report);
+                let result = if injector.should_fail_checkpoint(report.rounds) {
+                    Err(io::Error::other("injected checkpoint I/O error"))
+                } else {
+                    write(&ckpt)
+                };
+                if let Err(e) = result {
+                    report.failures.push(RuntimeError::CheckpointIo {
+                        round: report.rounds,
+                        message: e.to_string(),
+                    });
+                }
+            }
         }
+        report.completion = completion;
         report
+    }
+}
+
+/// Maps the token's trip cause onto the report vocabulary.
+fn interrupt_reason(token: &CancelToken) -> InterruptReason {
+    match token.reason() {
+        Some(CancelReason::Deadline) => InterruptReason::Deadline,
+        Some(CancelReason::PassBudget) => InterruptReason::PassBudget,
+        _ => InterruptReason::Cancelled,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::RunBudget;
     use rejection::AugmentedGraphBuilder;
 
     /// Legit clique (0–3); fake group A (4–5) heavily rejected by legit;
@@ -251,6 +510,8 @@ mod tests {
         assert!(report.groups.len() >= 2, "expected multiple rounds");
         assert!(report.groups[0].nodes.contains(&NodeId(4)));
         assert!(report.groups[0].nodes.contains(&NodeId(5)));
+        assert_eq!(report.completion, Completion::Complete);
+        assert!(report.failures.is_empty());
     }
 
     #[test]
@@ -314,6 +575,7 @@ mod tests {
         let det = IterativeDetector::new(RejectoConfig::default());
         let report = det.detect(&g, &Seeds::default(), Termination::SuspectBudget(2));
         assert_eq!(report.num_suspects(), 0);
+        assert_eq!(report.completion, Completion::Complete);
     }
 
     #[test]
@@ -326,5 +588,119 @@ mod tests {
         assert!(suspects.contains(&NodeId(6)));
         assert!(!suspects.contains(&NodeId(0)));
         assert!(!suspects.contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn round_budget_yields_a_deterministic_partial_report() {
+        let g = self_rejection_scenario();
+        let full = IterativeDetector::new(RejectoConfig::default()).detect(
+            &g,
+            &Seeds::default(),
+            Termination::SuspectBudget(8),
+        );
+        assert!(full.groups.len() >= 2, "scenario must take multiple rounds");
+
+        let config = RejectoConfig {
+            budget: RunBudget { max_rounds: Some(1), ..RunBudget::unlimited() },
+            ..RejectoConfig::default()
+        };
+        let partial = IterativeDetector::new(config).detect(
+            &g,
+            &Seeds::default(),
+            Termination::SuspectBudget(8),
+        );
+        assert_eq!(partial.rounds, 1);
+        match &partial.completion {
+            Completion::Partial { completed_rounds, completed_k_indices, reason } => {
+                assert_eq!(*completed_rounds, 1);
+                assert!(completed_k_indices.is_empty(), "round boundary carries no sweep progress");
+                assert_eq!(*reason, InterruptReason::RoundBudget);
+            }
+            other => panic!("expected Partial, got {other:?}"),
+        }
+        // The one completed round matches the uninterrupted run's round 1.
+        assert_eq!(partial.groups, full.groups[..1]);
+    }
+
+    #[test]
+    fn checkpoint_resume_equals_uninterrupted_run() {
+        let g = self_rejection_scenario();
+        let seeds = Seeds::default();
+        let termination = Termination::SuspectBudget(8);
+        let full = IterativeDetector::new(RejectoConfig::default()).detect(&g, &seeds, termination);
+        assert!(full.groups.len() >= 2, "scenario must take multiple rounds");
+
+        let budgeted = RejectoConfig {
+            budget: RunBudget { max_rounds: Some(1), ..RunBudget::unlimited() },
+            ..RejectoConfig::default()
+        };
+        let mut checkpoints: Vec<Checkpoint> = Vec::new();
+        let partial = IterativeDetector::new(budgeted).detect_with_checkpoints(
+            &g,
+            &seeds,
+            termination,
+            &mut |c| {
+                checkpoints.push(c.clone());
+                Ok(())
+            },
+        );
+        assert!(partial.is_partial());
+        let last = checkpoints.last().expect("round 1 must checkpoint");
+
+        // JSON round trip, then resume with an unbudgeted detector.
+        let restored =
+            Checkpoint::from_json(&last.to_json()).expect("checkpoint round-trips");
+        let resumed = IterativeDetector::new(RejectoConfig::default())
+            .resume(&g, &seeds, termination, &restored)
+            .expect("checkpoint matches the graph");
+        assert_eq!(resumed, full, "resume must reproduce the uninterrupted run");
+    }
+
+    #[test]
+    fn immediate_deadline_yields_a_well_formed_partial_report() {
+        let g = self_rejection_scenario();
+        let config = RejectoConfig {
+            budget: RunBudget {
+                deadline: Some(std::time::Duration::ZERO),
+                ..RunBudget::unlimited()
+            },
+            ..RejectoConfig::default()
+        };
+        let report = IterativeDetector::new(config).detect(
+            &g,
+            &Seeds::default(),
+            Termination::SuspectBudget(8),
+        );
+        assert!(report.is_partial());
+        match &report.completion {
+            Completion::Partial { completed_rounds, reason, .. } => {
+                assert_eq!(*completed_rounds, report.rounds);
+                assert_eq!(*reason, InterruptReason::Deadline);
+            }
+            other => panic!("expected Partial, got {other:?}"),
+        }
+        assert_eq!(report.rounds, 0, "a zero deadline stops before round 1");
+        assert!(report.groups.is_empty());
+    }
+
+    #[test]
+    fn tiny_pass_budget_interrupts_with_pass_budget_reason() {
+        let g = self_rejection_scenario();
+        let config = RejectoConfig {
+            budget: RunBudget { max_kl_passes: Some(1), ..RunBudget::unlimited() },
+            ..RejectoConfig::default()
+        };
+        let report = IterativeDetector::new(config).detect(
+            &g,
+            &Seeds::default(),
+            Termination::SuspectBudget(8),
+        );
+        assert!(report.is_partial(), "one global pass cannot finish a sweep");
+        match &report.completion {
+            Completion::Partial { reason, .. } => {
+                assert_eq!(*reason, InterruptReason::PassBudget);
+            }
+            other => panic!("expected Partial, got {other:?}"),
+        }
     }
 }

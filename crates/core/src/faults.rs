@@ -1,0 +1,317 @@
+//! Deterministic fault injection for the detection runtime.
+//!
+//! The fault-tolerance contract (worker panics become
+//! [`crate::RuntimeError::WorkerFailed`], lost checkpoints become
+//! [`crate::RuntimeError::CheckpointIo`], deadlines become `Partial`
+//! reports) is only trustworthy if it is *exercised*, and real faults are
+//! rare and nondeterministic. This module arms synthetic faults that fire
+//! at exact, reproducible points — a named sweep index, a named pruning
+//! round, a fixed deadline — so `crates/core/tests/faults.rs` and the CI
+//! fault matrix can assert the degraded outputs byte-for-byte.
+//!
+//! A plan is declarative ([`FaultPlan`], parsed from
+//! `--inject worker_panic@k=3,io_error@round=2,deadline=50ms` or the
+//! `REJECTO_INJECT` environment variable) and carried in
+//! [`crate::RejectoConfig::faults`]; the runtime consults a shared
+//! [`FaultInjector`] built from it. An empty plan is free: every probe is
+//! a single cheap check against an empty table.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One synthetic fault at a deterministic trigger point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// Panic inside the sweep worker solving sweep index `k_index`.
+    /// One-shot by default (the deterministic retry then succeeds, proving
+    /// retry-equality); `persistent` also panics on every retry (proving
+    /// the degraded-report path).
+    WorkerPanic {
+        /// Sweep index whose worker panics.
+        k_index: usize,
+        /// Whether the retry panics too.
+        persistent: bool,
+    },
+    /// Fail the checkpoint write after pruning round `round` (1-based)
+    /// with a synthetic I/O error.
+    CheckpointIoError {
+        /// Round whose checkpoint write fails.
+        round: usize,
+    },
+    /// Arm a wall-clock deadline of `millis` milliseconds on the run, as
+    /// if [`crate::RunBudget::deadline`] had been set.
+    Deadline {
+        /// Deadline in milliseconds.
+        millis: u64,
+    },
+}
+
+/// A declarative list of faults to arm for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan (injects nothing).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The planned faults, in plan order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Adds a fault to the plan.
+    pub fn push(&mut self, fault: Fault) {
+        self.faults.push(fault);
+    }
+
+    /// Parses the CLI/env injection syntax: a comma-separated list of
+    /// `worker_panic@k=<i>`, `worker_panic@k=<i>:always`,
+    /// `io_error@round=<r>`, and `deadline=<ms>ms` specs. An empty string
+    /// parses to the empty plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first malformed spec.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if let Some(rest) = part.strip_prefix("worker_panic@k=") {
+                let (num, persistent) = match rest.strip_suffix(":always") {
+                    Some(n) => (n, true),
+                    None => (rest, false),
+                };
+                let k_index = num.parse::<usize>().map_err(|_| {
+                    format!("bad sweep index in `{part}`: expected worker_panic@k=<index>")
+                })?;
+                plan.push(Fault::WorkerPanic { k_index, persistent });
+            } else if let Some(rest) = part.strip_prefix("io_error@round=") {
+                let round = rest.parse::<usize>().map_err(|_| {
+                    format!("bad round in `{part}`: expected io_error@round=<round>")
+                })?;
+                if round == 0 {
+                    return Err(format!("bad round in `{part}`: rounds are 1-based"));
+                }
+                plan.push(Fault::CheckpointIoError { round });
+            } else if let Some(rest) = part.strip_prefix("deadline=") {
+                let digits = rest.strip_suffix("ms").unwrap_or(rest);
+                let millis = digits.parse::<u64>().map_err(|_| {
+                    format!("bad deadline in `{part}`: expected deadline=<millis>ms")
+                })?;
+                plan.push(Fault::Deadline { millis });
+            } else {
+                return Err(format!(
+                    "unknown fault `{part}`: expected worker_panic@k=<i>[:always], \
+                     io_error@round=<r>, or deadline=<ms>ms"
+                ));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads a plan from the `REJECTO_INJECT` environment variable; unset
+    /// or empty means the empty plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultPlan::parse`] errors.
+    pub fn from_env() -> Result<FaultPlan, String> {
+        match std::env::var("REJECTO_INJECT") {
+            Ok(spec) => FaultPlan::parse(&spec),
+            Err(_) => Ok(FaultPlan::default()),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ArmedPanic {
+    k_index: usize,
+    persistent: bool,
+    spent: bool,
+}
+
+#[derive(Debug)]
+struct ArmedIoError {
+    round: usize,
+    spent: bool,
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    panics: Vec<ArmedPanic>,
+    io_errors: Vec<ArmedIoError>,
+}
+
+/// The runtime side of a [`FaultPlan`]: probes the workers and the
+/// checkpoint sink call at their trigger points. Clones share state, so a
+/// one-shot fault fires exactly once per run no matter how many workers
+/// probe it concurrently.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultInjector {
+    inner: Arc<Mutex<InjectorState>>,
+    deadline: Option<Duration>,
+}
+
+impl FaultInjector {
+    /// Arms every fault in `plan` for one run.
+    pub(crate) fn new(plan: &FaultPlan) -> Self {
+        let mut panics = Vec::new();
+        let mut io_errors = Vec::new();
+        let mut deadline: Option<Duration> = None;
+        for &fault in plan.faults() {
+            match fault {
+                Fault::WorkerPanic { k_index, persistent } => {
+                    panics.push(ArmedPanic { k_index, persistent, spent: false });
+                }
+                Fault::CheckpointIoError { round } => {
+                    io_errors.push(ArmedIoError { round, spent: false });
+                }
+                Fault::Deadline { millis } => {
+                    let d = Duration::from_millis(millis);
+                    deadline = Some(deadline.map_or(d, |prev| prev.min(d)));
+                }
+            }
+        }
+        FaultInjector {
+            inner: Arc::new(Mutex::new(InjectorState { panics, io_errors })),
+            deadline,
+        }
+    }
+
+    /// The injected wall-clock deadline, if the plan armed one.
+    pub(crate) fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Whether the worker solving sweep index `k_index` should panic now.
+    /// One-shot faults are consumed by the first probe that fires.
+    pub(crate) fn should_panic(&self, k_index: usize) -> bool {
+        let mut state = self.inner.lock().expect("fault-injector mutex poisoned");
+        for armed in &mut state.panics {
+            if armed.k_index != k_index {
+                continue;
+            }
+            if armed.persistent {
+                return true;
+            }
+            if !armed.spent {
+                armed.spent = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the checkpoint write after `round` should fail. Consumed by
+    /// the first probe that fires.
+    pub(crate) fn should_fail_checkpoint(&self, round: usize) -> bool {
+        let mut state = self.inner.lock().expect("fault-injector mutex poisoned");
+        for armed in &mut state.io_errors {
+            if armed.round == round && !armed.spent {
+                armed.spent = true;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Trips an injected worker panic. The single sanctioned `panic!` of the
+/// runtime path: it exists to *test* the panic-catching machinery, and the
+/// pool converts it straight back into a [`crate::RuntimeError`].
+pub(crate) fn trigger_injected_panic(k_index: usize) -> ! {
+    panic!("injected worker panic at sweep index {k_index}") // xtask-allow: no-panic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_syntax() {
+        let plan = FaultPlan::parse("worker_panic@k=3,io_error@round=2,deadline=50ms")
+            .expect("spec is well-formed");
+        assert_eq!(
+            plan.faults(),
+            &[
+                Fault::WorkerPanic { k_index: 3, persistent: false },
+                Fault::CheckpointIoError { round: 2 },
+                Fault::Deadline { millis: 50 },
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_persistent_panics_and_bare_deadlines() {
+        let plan =
+            FaultPlan::parse("worker_panic@k=0:always, deadline=120").expect("spec is well-formed");
+        assert_eq!(
+            plan.faults(),
+            &[
+                Fault::WorkerPanic { k_index: 0, persistent: true },
+                Fault::Deadline { millis: 120 },
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_spec_is_the_empty_plan() {
+        assert!(FaultPlan::parse("").expect("empty spec parses").is_empty());
+        assert!(FaultPlan::parse(" , ").expect("blank items parse").is_empty());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_context() {
+        for bad in ["worker_panic@k=x", "io_error@round=0", "io_error@round=", "boom", "deadline=fast"] {
+            let err = FaultPlan::parse(bad).expect_err("spec must be rejected");
+            assert!(err.contains(bad.split('=').next().unwrap_or(bad)), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn one_shot_panic_fires_exactly_once() {
+        let plan = FaultPlan::parse("worker_panic@k=2").expect("spec is well-formed");
+        let inj = FaultInjector::new(&plan);
+        assert!(!inj.should_panic(1));
+        assert!(inj.should_panic(2));
+        assert!(!inj.should_panic(2), "one-shot fault must be consumed");
+    }
+
+    #[test]
+    fn persistent_panic_keeps_firing() {
+        let plan = FaultPlan::parse("worker_panic@k=2:always").expect("spec is well-formed");
+        let inj = FaultInjector::new(&plan);
+        assert!(inj.should_panic(2));
+        assert!(inj.should_panic(2));
+    }
+
+    #[test]
+    fn clones_share_consumption_state() {
+        let plan = FaultPlan::parse("io_error@round=1").expect("spec is well-formed");
+        let inj = FaultInjector::new(&plan);
+        let clone = inj.clone();
+        assert!(clone.should_fail_checkpoint(1));
+        assert!(!inj.should_fail_checkpoint(1), "clone must consume the shared fault");
+    }
+
+    #[test]
+    fn tightest_injected_deadline_wins() {
+        let plan = FaultPlan::parse("deadline=80ms,deadline=50ms,deadline=90ms")
+            .expect("spec is well-formed");
+        let inj = FaultInjector::new(&plan);
+        assert_eq!(inj.deadline(), Some(Duration::from_millis(50)));
+    }
+}

@@ -73,10 +73,17 @@ pub fn assert_partition_bookkeeping(g: &AugmentedGraph, p: &Partition) {
 /// Checks the pruning loop's accumulated state on the *original* graph `g`:
 /// groups must be pairwise disjoint (a pruned node can never resurface),
 /// every member must name a node of `g`, round numbers must be recorded in
-/// order, and the per-group aggregate acceptance rates must be
-/// non-decreasing — the monotonicity §IV-E's prune-and-repeat argument
-/// rests on (each round removes the currently most-rejected group, so the
-/// residual graph can only look more legitimate).
+/// order, and every group's acceptance rate must be a valid rate in
+/// `[0, 1]`.
+///
+/// Per-round acceptance rates are deliberately NOT asserted monotone.
+/// §IV-E's prune-and-repeat intuition (each round removes the currently
+/// most-rejected group, so the residual graph looks more legitimate) holds
+/// on the paper's spam scenarios and is pinned by scenario-level tests,
+/// but it is not an invariant of the algorithm: the k-sweep runs a *local*
+/// search, so a later round can surface a low-rate pocket the earlier
+/// sweep missed — random small graphs with noise rejections produce
+/// counterexamples (found by the checkpoint round-trip proptest).
 ///
 /// # Panics
 ///
@@ -100,18 +107,20 @@ pub fn assert_report_bookkeeping(g: &AugmentedGraph, report: &DetectionReport) {
             seen[u.index()] = true;
         }
     }
+    for group in &report.groups {
+        assert!(
+            (0.0..=1.0).contains(&group.acceptance_rate),
+            "acceptance rate out of range in round {}: {}",
+            group.round,
+            group.acceptance_rate
+        );
+    }
     for w in report.groups.windows(2) {
         assert!(
             w[0].round < w[1].round,
             "group rounds out of order: {} then {}",
             w[0].round,
             w[1].round
-        );
-        assert!(
-            w[0].acceptance_rate <= w[1].acceptance_rate + 1e-9,
-            "acceptance rate regressed across rounds: {} then {}",
-            w[0].acceptance_rate,
-            w[1].acceptance_rate
         );
     }
 }

@@ -37,17 +37,26 @@
 
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 mod config;
 mod detect;
 pub mod exact;
+pub mod faults;
 #[cfg(feature = "debug-invariants")]
 pub mod invariants;
 mod maar;
 mod pool;
+mod runtime;
 
-pub use config::{InitialPlacement, RejectoConfig};
-pub use detect::{DetectedGroup, DetectionReport, IterativeDetector, Seeds, Termination};
+pub use checkpoint::{Checkpoint, CheckpointGroup, CHECKPOINT_FORMAT, CHECKPOINT_VERSION};
+pub use config::{InitialPlacement, RejectoConfig, RunBudget};
+pub use detect::{
+    CheckpointSink, Completion, DetectedGroup, DetectionReport, InterruptReason,
+    IterativeDetector, Seeds, Termination,
+};
+pub use faults::{Fault, FaultPlan};
 /// Re-exported so report consumers can name the exact rational sweep
 /// parameter [`DetectedGroup::k`] carries without depending on `kl`.
 pub use kl::KParam;
 pub use maar::{MaarCut, MaarSolver};
+pub use runtime::RuntimeError;

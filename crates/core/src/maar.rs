@@ -1,6 +1,9 @@
+use crate::faults::trigger_injected_panic;
+use crate::runtime::{RunContext, RuntimeError};
 use crate::{InitialPlacement, RejectoConfig};
 use kl::{ExtendedKl, ExtendedKlConfig, KParam};
 use rejection::{AugmentedGraph, NodeId, Partition, Region};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A minimum-aggregate-acceptance-rate cut found by [`MaarSolver`].
 #[derive(Debug, Clone)]
@@ -18,6 +21,36 @@ impl MaarCut {
     pub fn suspects(&self) -> Vec<NodeId> {
         self.partition.suspects()
     }
+}
+
+/// What one sweep worker produced for its `k`.
+enum KResult {
+    /// A converged, admissible cut.
+    Cut(MaarCut),
+    /// Converged, but the cut was degenerate or inadmissible.
+    NoCut,
+    /// The KL run was stopped by the cancel token before convergence; its
+    /// partition is discarded (a half-optimized cut must never compete in
+    /// the reduction).
+    Interrupted,
+}
+
+/// Everything one monitored sweep (or its warm-start fallback pair)
+/// produced, for the pruning loop's bookkeeping.
+#[derive(Debug)]
+pub(crate) struct SweepOutcome {
+    /// The winning cut, when the sweep ran to completion and found one.
+    pub(crate) cut: Option<MaarCut>,
+    /// Sweep indices whose workers ran to convergence (including
+    /// successfully retried ones), ascending. On interruption this is the
+    /// progress record a `Partial` report carries.
+    pub(crate) completed_k_indices: Vec<usize>,
+    /// Persistent per-`k` failures: the worker panicked *and* its
+    /// deterministic serial retry panicked again, so the index was skipped.
+    pub(crate) failures: Vec<RuntimeError>,
+    /// Whether the cancel token stopped the sweep before every `k`
+    /// converged. When set, `cut` is `None`.
+    pub(crate) interrupted: bool,
 }
 
 /// Solves the MAAR problem on one augmented graph by sweeping `k` over a
@@ -45,6 +78,10 @@ impl MaarSolver {
     /// exists (i.e., every candidate leaves the suspect region empty or
     /// cuts no requests at all).
     ///
+    /// This is the unmonitored entry point: no budgets, no fault
+    /// injection. [`crate::IterativeDetector`] goes through the monitored
+    /// path instead.
+    ///
     /// # Panics
     ///
     /// Panics if any seed id is out of range.
@@ -54,15 +91,39 @@ impl MaarSolver {
         legit_seeds: &[NodeId],
         spammer_seeds: &[NodeId],
     ) -> Option<MaarCut> {
-        let first = self.sweep(g, legit_seeds, spammer_seeds, self.config.initial_placement);
-        if first.is_some() || self.config.initial_placement == InitialPlacement::AllLegit {
+        self.solve_monitored(g, legit_seeds, spammer_seeds, &RunContext::unmonitored()).cut
+    }
+
+    /// [`MaarSolver::solve`] under a [`RunContext`]: the context's cancel
+    /// token can interrupt the sweep at KL pass boundaries, its injector
+    /// can detonate workers, and the outcome records per-`k` progress and
+    /// failures instead of panicking or silently skipping.
+    pub(crate) fn solve_monitored(
+        &self,
+        g: &AugmentedGraph,
+        legit_seeds: &[NodeId],
+        spammer_seeds: &[NodeId],
+        ctx: &RunContext,
+    ) -> SweepOutcome {
+        let first = self.sweep(g, legit_seeds, spammer_seeds, self.config.initial_placement, ctx);
+        if first.cut.is_some()
+            || first.interrupted
+            || self.config.initial_placement == InitialPlacement::AllLegit
+        {
             return first;
         }
         // The warm start can steer every k toward a cut larger than the
         // admissible suspect region (KL optimizes unconstrained); fall back
         // to the all-legit start, whose best-prefix mechanism grows cuts
         // incrementally and stays small when small cuts suffice.
-        self.sweep(g, legit_seeds, spammer_seeds, InitialPlacement::AllLegit)
+        let mut fallback = self.sweep(g, legit_seeds, spammer_seeds, InitialPlacement::AllLegit, ctx);
+        // Failures from the primary sweep stay on the record: a skipped k
+        // degrades the primary sweep's answer whether or not the fallback
+        // ran cleanly.
+        let mut failures = first.failures;
+        failures.append(&mut fallback.failures);
+        fallback.failures = failures;
+        fallback
     }
 
     /// The largest admissible suspect-region size on an `n`-node residual
@@ -84,49 +145,109 @@ impl MaarSolver {
     /// a candidate only when *strictly* better — exactly the serial loop's
     /// tie-break (lowest acceptance rate, earliest sweep index wins) — so
     /// thread count cannot change the winner.
+    ///
+    /// Panicked slots are retried *serially in index order* before the
+    /// reduction: a transient panic therefore yields the identical answer
+    /// the clean sweep would have produced, and only a panic that
+    /// reproduces on retry degrades the sweep (recorded as
+    /// [`RuntimeError::WorkerFailed`], slot skipped).
     fn sweep(
         &self,
         g: &AugmentedGraph,
         legit_seeds: &[NodeId],
         spammer_seeds: &[NodeId],
         placement: InitialPlacement,
-    ) -> Option<MaarCut> {
+        ctx: &RunContext,
+    ) -> SweepOutcome {
         let cap = self.suspect_cap(g.num_nodes());
         let ks = self.config.k_sweep();
-        let solve_one = |i: usize| -> Option<MaarCut> {
+        let solve_one = |i: usize| -> KResult {
+            if ctx.injector.should_panic(i) {
+                trigger_injected_panic(i);
+            }
             let k = ks[i];
             let mut kl = ExtendedKl::new(
                 g,
                 ExtendedKlConfig { k, max_passes: self.config.max_kl_passes },
             );
+            kl.set_cancel(ctx.token.clone());
             for &s in legit_seeds.iter().chain(spammer_seeds) {
                 kl.lock(s);
             }
             let init = self.initial_partition(g, legit_seeds, spammer_seeds, placement);
             let out = kl.run(init);
+            if out.interrupted {
+                return KResult::Interrupted;
+            }
             let p = out.partition;
             #[cfg(feature = "debug-invariants")]
             crate::invariants::assert_partition_bookkeeping(g, &p);
             if p.suspect_count() == 0 || p.suspect_count() > cap {
-                return None;
+                return KResult::NoCut;
             }
-            let ac = p.acceptance_rate()?;
-            Some(MaarCut { partition: p, acceptance_rate: ac, k })
+            match p.acceptance_rate() {
+                Some(ac) => {
+                    KResult::Cut(MaarCut { partition: p, acceptance_rate: ac, k })
+                }
+                None => KResult::NoCut,
+            }
         };
         let threads = self.config.effective_threads();
-        let candidates = crate::pool::run_indexed(threads, ks.len(), solve_one);
+        let mut slots = crate::pool::run_indexed(threads, ks.len(), &ctx.token, solve_one);
 
-        let mut best: Option<MaarCut> = None;
-        for cut in candidates.into_iter().flatten() {
-            let better = match &best {
-                None => true,
-                Some(b) => cut.acceptance_rate < b.acceptance_rate,
-            };
-            if better {
-                best = Some(cut);
+        // Deterministic serial retry of panicked slots, in index order. A
+        // retry that panics again records the failure and skips the index.
+        let mut failures = Vec::new();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if let crate::pool::JobOutcome::Panicked(_) = slot {
+                match catch_unwind(AssertUnwindSafe(|| solve_one(i))) {
+                    Ok(result) => *slot = crate::pool::JobOutcome::Done(result),
+                    Err(payload) => {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        failures.push(RuntimeError::WorkerFailed {
+                            round: ctx.round,
+                            k_index: i,
+                            message,
+                        });
+                    }
+                }
             }
         }
-        best
+
+        let mut completed_k_indices = Vec::new();
+        let mut interrupted = false;
+        let mut best: Option<MaarCut> = None;
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                crate::pool::JobOutcome::Done(KResult::Interrupted)
+                | crate::pool::JobOutcome::Skipped => interrupted = true,
+                crate::pool::JobOutcome::Done(result) => {
+                    completed_k_indices.push(i);
+                    if let KResult::Cut(cut) = result {
+                        let better = match &best {
+                            None => true,
+                            Some(b) => cut.acceptance_rate < b.acceptance_rate,
+                        };
+                        if better {
+                            best = Some(cut);
+                        }
+                    }
+                }
+                // Retried above: a surviving Panicked slot is a recorded
+                // failure, not a candidate.
+                crate::pool::JobOutcome::Panicked(_) => {}
+            }
+        }
+        SweepOutcome {
+            cut: if interrupted { None } else { best },
+            completed_k_indices,
+            failures,
+            interrupted,
+        }
     }
 
     fn initial_partition(
@@ -174,6 +295,7 @@ impl MaarSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultPlan;
     use rejection::AugmentedGraphBuilder;
 
     /// 5 legit users in a ring; 3 fakes in a triangle; 2 attack edges;
@@ -284,5 +406,63 @@ mod tests {
         // The winning k need not equal it, but must be a sweep member.
         let sweep = RejectoConfig::default().k_sweep();
         assert!(sweep.contains(&cut.k));
+    }
+
+    #[test]
+    fn one_shot_injected_panic_is_retried_to_the_clean_answer() {
+        let g = scenario();
+        let clean = MaarSolver::new(RejectoConfig::default())
+            .solve(&g, &[], &[])
+            .expect("scenario admits a cut");
+        for threads in [1, 4] {
+            let plan = FaultPlan::parse("worker_panic@k=3").expect("spec is well-formed");
+            let config = RejectoConfig { threads, faults: plan, ..RejectoConfig::default() };
+            let solver = MaarSolver::new(config);
+            let mut ctx = RunContext::unmonitored();
+            ctx.injector = crate::faults::FaultInjector::new(&solver.config().faults);
+            let out = solver.solve_monitored(&g, &[], &[], &ctx);
+            assert!(out.failures.is_empty(), "threads={threads}: retry must clear the failure");
+            assert!(!out.interrupted);
+            let cut = out.cut.expect("retried sweep still finds the cut");
+            assert_eq!(cut.suspects(), clean.suspects(), "threads={threads}");
+            assert_eq!(cut.acceptance_rate.to_bits(), clean.acceptance_rate.to_bits());
+        }
+    }
+
+    #[test]
+    fn persistent_injected_panic_degrades_deterministically() {
+        let g = scenario();
+        let mut reference: Option<(Vec<NodeId>, Vec<usize>)> = None;
+        for threads in [1, 4] {
+            let plan = FaultPlan::parse("worker_panic@k=3:always").expect("spec is well-formed");
+            let config = RejectoConfig { threads, faults: plan, ..RejectoConfig::default() };
+            let solver = MaarSolver::new(config);
+            let mut ctx = RunContext::unmonitored();
+            ctx.round = 1;
+            ctx.injector = crate::faults::FaultInjector::new(&solver.config().faults);
+            let out = solver.solve_monitored(&g, &[], &[], &ctx);
+            assert!(!out.interrupted, "a failed slot is a skip, not an interruption");
+            assert_eq!(out.failures.len(), 1, "threads={threads}");
+            match &out.failures[0] {
+                RuntimeError::WorkerFailed { round, k_index, message } => {
+                    assert_eq!(*round, 1);
+                    assert_eq!(*k_index, 3);
+                    assert!(message.contains("injected worker panic"));
+                }
+                other => panic!("threads={threads}: unexpected failure {other:?}"),
+            }
+            assert!(
+                !out.completed_k_indices.contains(&3),
+                "failed index must not count as completed"
+            );
+            let suspects = out.cut.as_ref().map(MaarCut::suspects).unwrap_or_default();
+            match &reference {
+                None => reference = Some((suspects, out.completed_k_indices.clone())),
+                Some((ref_suspects, ref_completed)) => {
+                    assert_eq!(&suspects, ref_suspects, "threads={threads}");
+                    assert_eq!(&out.completed_k_indices, ref_completed, "threads={threads}");
+                }
+            }
+        }
     }
 }

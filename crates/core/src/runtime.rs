@@ -1,0 +1,127 @@
+//! The structured failure model of the detection runtime.
+//!
+//! Rejecto's production posture (ROADMAP north star) is *degrade, don't
+//! abort*: a worker panic, a failed checkpoint write, or an unreadable
+//! checkpoint must surface as data — a [`RuntimeError`] attached to the
+//! [`crate::DetectionReport`] or returned from a resume — never as a
+//! process abort. Every variant carries enough position context (round,
+//! sweep index, versions) to reproduce the failure deterministically.
+
+use std::error::Error;
+use std::fmt;
+
+/// A structured runtime failure of the detection pipeline.
+///
+/// Failures recorded on a report ([`crate::DetectionReport::failures`])
+/// describe *degraded* operation: the run continued and the report is
+/// well-formed, but some work was skipped or some side effect (a
+/// checkpoint write) was lost. Failures returned as `Err` from
+/// [`crate::IterativeDetector::resume`] describe inputs the run could not
+/// start from at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// A `k`-sweep worker panicked, its deterministic serial retry panicked
+    /// again, and the sweep index was skipped by the reduction.
+    WorkerFailed {
+        /// 1-based pruning round of the failed sweep.
+        round: usize,
+        /// Index of the failed `k` in the sweep sequence.
+        k_index: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// Writing a round checkpoint failed; detection continued without it.
+    CheckpointIo {
+        /// 1-based round whose checkpoint was lost.
+        round: usize,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
+    /// A checkpoint could not be parsed.
+    CheckpointFormat {
+        /// What was wrong with the document.
+        message: String,
+    },
+    /// A checkpoint's version is not supported by this build.
+    CheckpointVersion {
+        /// The version the document declares.
+        found: u64,
+        /// The version this build writes and reads.
+        supported: u64,
+    },
+    /// A checkpoint is internally consistent but does not describe the
+    /// graph passed to resume.
+    CheckpointMismatch {
+        /// What disagreed.
+        message: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::WorkerFailed { round, k_index, message } => write!(
+                f,
+                "sweep worker failed (round {round}, k index {k_index}): {message}"
+            ),
+            RuntimeError::CheckpointIo { round, message } => {
+                write!(f, "checkpoint write failed after round {round}: {message}")
+            }
+            RuntimeError::CheckpointFormat { message } => {
+                write!(f, "malformed checkpoint: {message}")
+            }
+            RuntimeError::CheckpointVersion { found, supported } => write!(
+                f,
+                "unsupported checkpoint version {found} (this build supports {supported})"
+            ),
+            RuntimeError::CheckpointMismatch { message } => {
+                write!(f, "checkpoint does not match the graph: {message}")
+            }
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+/// Per-run plumbing shared by the pruning loop and the sweep workers: the
+/// cancellation token budgets arm, the fault injector tests arm, and the
+/// current 1-based round for diagnostics.
+#[derive(Debug, Clone)]
+pub(crate) struct RunContext {
+    pub(crate) token: kl::CancelToken,
+    pub(crate) injector: crate::faults::FaultInjector,
+    pub(crate) round: usize,
+}
+
+impl RunContext {
+    /// A context with no budgets armed and no faults planned — the exact
+    /// legacy code path.
+    pub(crate) fn unmonitored() -> Self {
+        RunContext {
+            token: kl::CancelToken::new(),
+            injector: crate::faults::FaultInjector::new(&crate::faults::FaultPlan::default()),
+            round: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_position_context() {
+        let e = RuntimeError::WorkerFailed {
+            round: 2,
+            k_index: 3,
+            message: "injected worker panic".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("round 2"), "missing round in: {s}");
+        assert!(s.contains("k index 3"), "missing k index in: {s}");
+
+        let v = RuntimeError::CheckpointVersion { found: 9, supported: 1 };
+        assert!(v.to_string().contains("version 9"));
+    }
+}

@@ -74,6 +74,7 @@ fn report_checker_accepts_disjoint_monotone_groups() {
     let report = DetectionReport {
         groups: vec![group(1, 0.1, &[4]), group(2, 0.4, &[3])],
         rounds: 3,
+        ..DetectionReport::default()
     };
     assert_report_bookkeeping(&g, &report);
 }
@@ -85,17 +86,34 @@ fn report_checker_catches_resurfacing_nodes() {
     let report = DetectionReport {
         groups: vec![group(1, 0.1, &[4]), group(2, 0.4, &[4, 3])],
         rounds: 2,
+        ..DetectionReport::default()
     };
     assert_report_bookkeeping(&g, &report);
 }
 
 #[test]
-#[should_panic(expected = "acceptance rate regressed")]
-fn report_checker_catches_nonmonotone_rates() {
+fn report_checker_tolerates_nonmonotone_rates() {
+    // Non-decreasing per-round rates are a scenario-level expectation, not
+    // an algorithm invariant: the k-sweep is a local search, so a later
+    // round can legitimately surface a lower-rate pocket the earlier sweep
+    // missed (random small graphs produce counterexamples).
     let g = fixture();
     let report = DetectionReport {
         groups: vec![group(1, 0.5, &[4]), group(2, 0.1, &[3])],
         rounds: 2,
+        ..DetectionReport::default()
+    };
+    assert_report_bookkeeping(&g, &report);
+}
+
+#[test]
+#[should_panic(expected = "acceptance rate out of range")]
+fn report_checker_catches_invalid_rates() {
+    let g = fixture();
+    let report = DetectionReport {
+        groups: vec![group(1, 1.5, &[4])],
+        rounds: 1,
+        ..DetectionReport::default()
     };
     assert_report_bookkeeping(&g, &report);
 }

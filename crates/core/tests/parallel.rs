@@ -46,6 +46,11 @@ fn assert_reports_identical(serial: &DetectionReport, parallel: &DetectionReport
             p.acceptance_rate
         );
     }
+    assert_eq!(
+        serial.completion, parallel.completion,
+        "{label}: completion states differ"
+    );
+    assert_eq!(serial.failures, parallel.failures, "{label}: failure records differ");
     // Belt and braces: the derived PartialEq must agree with the
     // field-by-field walk above.
     assert_eq!(serial, parallel, "{label}: reports differ");

@@ -1,0 +1,230 @@
+//! Cooperative cancellation for long-running optimization loops.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between the caller
+//! that sets budgets (wall-clock deadline, global KL pass budget, or an
+//! explicit cancel) and the inner loops that poll it at *pass boundaries*.
+//! Nothing is ever pre-empted mid-pass: a loop that observes cancellation
+//! finishes nothing further, marks its outcome interrupted, and returns the
+//! best state it had — which is what lets the detection pipeline degrade to
+//! a well-formed partial report instead of aborting.
+//!
+//! The token records *why* it tripped ([`CancelReason`]) exactly once: the
+//! first cause wins, later causes are ignored, so diagnostics stay stable
+//! even when a deadline and a pass budget expire in the same window.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a [`CancelToken`] tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called explicitly.
+    Cancelled,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The global KL pass budget was exhausted.
+    PassBudget,
+}
+
+const REASON_NONE: u8 = 0;
+const REASON_CANCELLED: u8 = 1;
+const REASON_DEADLINE: u8 = 2;
+const REASON_PASS_BUDGET: u8 = 3;
+
+/// Passes-left sentinel meaning "no pass budget configured".
+const UNLIMITED: i64 = i64::MAX;
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    reason: AtomicU8,
+    deadline: Mutex<Option<Instant>>,
+    passes_left: AtomicI64,
+}
+
+/// Shared cooperative-cancellation handle (see module docs).
+///
+/// Cloning is cheap and all clones observe the same state.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh token with no deadline and an unlimited pass budget.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                reason: AtomicU8::new(REASON_NONE),
+                deadline: Mutex::new(None),
+                passes_left: AtomicI64::new(UNLIMITED),
+            }),
+        }
+    }
+
+    fn trip(&self, reason: CancelReason) {
+        let code = match reason {
+            CancelReason::Cancelled => REASON_CANCELLED,
+            CancelReason::Deadline => REASON_DEADLINE,
+            CancelReason::PassBudget => REASON_PASS_BUDGET,
+        };
+        // First cause wins; later trips keep the original diagnosis.
+        let _ = self.inner.reason.compare_exchange(
+            REASON_NONE,
+            code,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Trips the token explicitly.
+    pub fn cancel(&self) {
+        self.trip(CancelReason::Cancelled);
+    }
+
+    /// Arms a wall-clock deadline `timeout` from now. Replaces any earlier
+    /// deadline; the *tighter* of repeated deadlines is kept.
+    pub fn set_deadline_in(&self, timeout: Duration) {
+        let at = Instant::now() + timeout;
+        let mut slot = self
+            .inner
+            .deadline
+            .lock()
+            .expect("cancel-token deadline mutex poisoned");
+        match *slot {
+            Some(existing) if existing <= at => {}
+            _ => *slot = Some(at),
+        }
+    }
+
+    /// Arms a global pass budget: after `passes` successful
+    /// [`consume_pass`](CancelToken::consume_pass) calls the token trips
+    /// with [`CancelReason::PassBudget`].
+    pub fn set_pass_budget(&self, passes: u64) {
+        let clamped = i64::try_from(passes).unwrap_or(UNLIMITED);
+        self.inner.passes_left.store(clamped, Ordering::Release);
+    }
+
+    /// Consumes one unit of the pass budget. Returns `false` (and trips the
+    /// token) when the budget is exhausted or the token is already tripped.
+    pub fn consume_pass(&self) -> bool {
+        if self.is_cancelled() {
+            return false;
+        }
+        if self.inner.passes_left.load(Ordering::Acquire) == UNLIMITED {
+            return true;
+        }
+        let prev = self.inner.passes_left.fetch_sub(1, Ordering::AcqRel);
+        if prev <= 0 {
+            self.trip(CancelReason::PassBudget);
+            return false;
+        }
+        true
+    }
+
+    /// Whether the token has tripped. Polls the deadline as a side effect,
+    /// so a passed deadline is observed here without any timer thread.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        let deadline = *self
+            .inner
+            .deadline
+            .lock()
+            .expect("cancel-token deadline mutex poisoned");
+        if let Some(at) = deadline {
+            if Instant::now() >= at {
+                self.trip(CancelReason::Deadline);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The first recorded trip cause, or `None` while untripped.
+    pub fn reason(&self) -> Option<CancelReason> {
+        match self.inner.reason.load(Ordering::Acquire) {
+            REASON_CANCELLED => Some(CancelReason::Cancelled),
+            REASON_DEADLINE => Some(CancelReason::Deadline),
+            REASON_PASS_BUDGET => Some(CancelReason::PassBudget),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.reason(), None);
+        assert!(t.consume_pass(), "unlimited budget must never exhaust");
+    }
+
+    #[test]
+    fn explicit_cancel_trips_all_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        t.cancel();
+        assert!(clone.is_cancelled());
+        assert_eq!(clone.reason(), Some(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn pass_budget_exhausts_after_exact_count() {
+        let t = CancelToken::new();
+        t.set_pass_budget(3);
+        assert!(t.consume_pass());
+        assert!(t.consume_pass());
+        assert!(t.consume_pass());
+        assert!(!t.consume_pass(), "fourth pass must be denied");
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::PassBudget));
+    }
+
+    #[test]
+    fn zero_pass_budget_denies_immediately() {
+        let t = CancelToken::new();
+        t.set_pass_budget(0);
+        assert!(!t.consume_pass());
+        assert_eq!(t.reason(), Some(CancelReason::PassBudget));
+    }
+
+    #[test]
+    fn elapsed_deadline_trips_on_poll() {
+        let t = CancelToken::new();
+        t.set_deadline_in(Duration::from_millis(0));
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn tighter_deadline_wins() {
+        let t = CancelToken::new();
+        t.set_deadline_in(Duration::from_secs(3600));
+        t.set_deadline_in(Duration::from_millis(0));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn first_reason_is_kept() {
+        let t = CancelToken::new();
+        t.set_pass_budget(0);
+        assert!(!t.consume_pass());
+        t.cancel();
+        assert_eq!(t.reason(), Some(CancelReason::PassBudget));
+    }
+}

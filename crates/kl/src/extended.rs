@@ -1,4 +1,4 @@
-use crate::{BucketList, KParam};
+use crate::{BucketList, CancelToken, KParam};
 use rejection::{AugmentedGraph, NodeId, Partition, Region};
 
 /// Configuration for one [`ExtendedKl`] run.
@@ -31,6 +31,9 @@ pub struct KlOutcome {
     pub passes: usize,
     /// Total node switches committed across all passes.
     pub moves_committed: u64,
+    /// `true` when a [`CancelToken`] stopped the run before natural
+    /// convergence; the partition is the best committed state so far.
+    pub interrupted: bool,
 }
 
 /// The paper's Algorithm 1: Kernighan–Lin extended to rejection-augmented
@@ -72,12 +75,21 @@ pub struct ExtendedKl<'a> {
     g: &'a AugmentedGraph,
     cfg: ExtendedKlConfig,
     locked: Vec<bool>,
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> ExtendedKl<'a> {
     /// Creates a solver over `g` with no locked nodes.
     pub fn new(g: &'a AugmentedGraph, cfg: ExtendedKlConfig) -> Self {
-        ExtendedKl { g, cfg, locked: vec![false; g.num_nodes()] }
+        ExtendedKl { g, cfg, locked: vec![false; g.num_nodes()], cancel: None }
+    }
+
+    /// Attaches a [`CancelToken`] polled at every pass boundary. Each pass
+    /// consumes one unit of the token's global pass budget; a tripped token
+    /// stops the run with [`KlOutcome::interrupted`] set, keeping the best
+    /// partition committed so far.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// Pins `node` to whatever region the initial partition assigns it;
@@ -137,8 +149,15 @@ impl<'a> ExtendedKl<'a> {
         let bound = self.gain_bound();
         let mut passes = 0usize;
         let mut moves_committed = 0u64;
+        let mut interrupted = false;
 
         while passes < self.cfg.max_passes {
+            if let Some(token) = &self.cancel {
+                if token.is_cancelled() || !token.consume_pass() {
+                    interrupted = true;
+                    break;
+                }
+            }
             passes += 1;
             let (seq, best_prefix) = self.one_pass(&p, bound);
             match best_prefix {
@@ -153,7 +172,7 @@ impl<'a> ExtendedKl<'a> {
         }
 
         let objective = self.objective(&p);
-        KlOutcome { partition: p, objective, passes, moves_committed }
+        KlOutcome { partition: p, objective, passes, moves_committed, interrupted }
     }
 
     /// Verifies the incremental gain index against recomputation from
@@ -354,6 +373,43 @@ mod tests {
         let out = kl.run(Partition::all_legit(&g));
         assert!(out.passes >= 1);
         assert!(out.moves_committed >= 3);
+    }
+
+    #[test]
+    fn tripped_token_interrupts_before_the_first_pass() {
+        let g = spam_scenario();
+        let mut kl = solver(&g, 1, 1);
+        let token = CancelToken::new();
+        token.cancel();
+        kl.set_cancel(token);
+        let out = kl.run(Partition::all_legit(&g));
+        assert!(out.interrupted);
+        assert_eq!(out.passes, 0);
+        assert_eq!(out.moves_committed, 0);
+        // Best-so-far state is the untouched initial partition.
+        assert_eq!(out.partition.suspect_count(), 0);
+    }
+
+    #[test]
+    fn pass_budget_of_one_commits_only_the_first_pass() {
+        let g = spam_scenario();
+
+        let mut unlimited = solver(&g, 1, 1);
+        let free = CancelToken::new();
+        unlimited.set_cancel(free.clone());
+        let full = unlimited.run(Partition::all_legit(&g));
+        assert!(!full.interrupted, "unlimited budget must not interrupt");
+        assert_eq!(full.partition.suspects(), vec![NodeId(4), NodeId(5), NodeId(6)]);
+
+        let mut kl = solver(&g, 1, 1);
+        let token = CancelToken::new();
+        token.set_pass_budget(1);
+        kl.set_cancel(token.clone());
+        let out = kl.run(Partition::all_legit(&g));
+        assert!(out.passes <= 1);
+        // Either the run converged in one pass, or it was interrupted and
+        // says so.
+        assert!(!out.interrupted || token.is_cancelled());
     }
 
     #[test]

@@ -22,10 +22,12 @@
 #![forbid(unsafe_code)]
 
 mod bucket;
+mod cancel;
 pub mod classic;
 mod extended;
 mod kparam;
 
 pub use bucket::BucketList;
+pub use cancel::{CancelReason, CancelToken};
 pub use extended::{ExtendedKl, ExtendedKlConfig, KlOutcome};
 pub use kparam::KParam;

@@ -15,6 +15,8 @@ use crate::{AugmentedGraph, AugmentedGraphBuilder, NodeId};
 use std::fmt;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
+pub use socialgraph::io::LoadStats;
+
 /// Errors from reading an augmented-graph file.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -28,6 +30,8 @@ pub enum AugmentedIoError {
     Parse {
         /// 1-based line number.
         line: usize,
+        /// The offending token (or `"<end of line>"` for a truncated line).
+        token: String,
         /// The unparsable content.
         content: String,
     },
@@ -40,6 +44,24 @@ pub enum AugmentedIoError {
     },
     /// Underlying I/O failure.
     Io(std::io::Error),
+    /// An error annotated with the path of the file it came from.
+    InFile {
+        /// Path of the file being read.
+        file: String,
+        /// The underlying error (carries the 1-based line and token for
+        /// parse errors).
+        source: Box<AugmentedIoError>,
+    },
+}
+
+impl AugmentedIoError {
+    /// Wraps the error with the path of the file it came from. Callers
+    /// that open files themselves attach the path at the call site, since
+    /// the readers only see an anonymous `Read`.
+    #[must_use]
+    pub fn in_file(self, file: impl Into<String>) -> AugmentedIoError {
+        AugmentedIoError::InFile { file: file.into(), source: Box::new(self) }
+    }
 }
 
 impl fmt::Display for AugmentedIoError {
@@ -48,13 +70,14 @@ impl fmt::Display for AugmentedIoError {
             AugmentedIoError::BadHeader { found } => {
                 write!(f, "missing or malformed header line, found {found:?}")
             }
-            AugmentedIoError::Parse { line, content } => {
-                write!(f, "cannot parse edge line {line}: {content:?}")
+            AugmentedIoError::Parse { line, token, content } => {
+                write!(f, "cannot parse edge line {line}: bad token {token:?} in {content:?}")
             }
             AugmentedIoError::NodeOutOfRange { line, node } => {
                 write!(f, "node id {node} out of range on line {line}")
             }
             AugmentedIoError::Io(e) => write!(f, "augmented-graph i/o error: {e}"),
+            AugmentedIoError::InFile { file, source } => write!(f, "{file}: {source}"),
         }
     }
 }
@@ -63,6 +86,7 @@ impl std::error::Error for AugmentedIoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             AugmentedIoError::Io(e) => Some(e),
+            AugmentedIoError::InFile { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -105,6 +129,70 @@ pub fn write_augmented<W: Write>(g: &AugmentedGraph, writer: W) -> Result<(), Au
 /// Returns a parse/header/range error as appropriate, or
 /// [`AugmentedIoError::Io`] on read failures.
 pub fn read_augmented<R: Read>(reader: R) -> Result<AugmentedGraph, AugmentedIoError> {
+    let (g, _) = read_augmented_impl(reader, false)?;
+    Ok(g)
+}
+
+/// Like [`read_augmented`], but malformed and out-of-range edge lines are
+/// skipped and counted instead of failing the whole load. The header stays
+/// strict — without a trustworthy node count nothing downstream is
+/// meaningful — and I/O errors remain fatal. The returned [`LoadStats`]
+/// lets the caller report how much input was dropped.
+///
+/// # Errors
+///
+/// Returns [`AugmentedIoError::BadHeader`] on a missing/malformed header
+/// and [`AugmentedIoError::Io`] on read failures.
+pub fn read_augmented_lenient<R: Read>(
+    reader: R,
+) -> Result<(AugmentedGraph, LoadStats), AugmentedIoError> {
+    read_augmented_impl(reader, true)
+}
+
+enum EdgeKind {
+    Friend,
+    Reject,
+}
+
+/// Parses one non-comment edge line against the declared node count `n`,
+/// naming the offending token on failure.
+fn parse_augmented_line(
+    trimmed: &str,
+    lineno: usize,
+    n: usize,
+) -> Result<(EdgeKind, u32, u32), AugmentedIoError> {
+    let bad = |token: &str| AugmentedIoError::Parse {
+        line: lineno,
+        token: token.to_string(),
+        content: trimmed.to_string(),
+    };
+    let mut parts = trimmed.split_whitespace();
+    let kind = match parts.next() {
+        Some("F") => EdgeKind::Friend,
+        Some("R") => EdgeKind::Reject,
+        Some(other) => return Err(bad(other)),
+        None => return Err(bad("<end of line>")),
+    };
+    let id = |tok: Option<&str>| -> Result<u32, AugmentedIoError> {
+        match tok {
+            Some(t) => t.parse().map_err(|_| bad(t)),
+            None => Err(bad("<end of line>")),
+        }
+    };
+    let u = id(parts.next())?;
+    let v = id(parts.next())?;
+    for x in [u, v] {
+        if x as usize >= n {
+            return Err(AugmentedIoError::NodeOutOfRange { line: lineno, node: x });
+        }
+    }
+    Ok((kind, u, v))
+}
+
+fn read_augmented_impl<R: Read>(
+    reader: R,
+    lenient: bool,
+) -> Result<(AugmentedGraph, LoadStats), AugmentedIoError> {
     let mut lines = BufReader::new(reader).lines();
     let header = lines
         .next()
@@ -116,6 +204,7 @@ pub fn read_augmented<R: Read>(reader: R) -> Result<AugmentedGraph, AugmentedIoE
         .ok_or_else(|| AugmentedIoError::BadHeader { found: header.clone() })?;
 
     let mut b = AugmentedGraphBuilder::new(n);
+    let mut stats = LoadStats::default();
     for (i, line) in lines.enumerate() {
         let lineno = i + 2;
         let line = line?;
@@ -123,30 +212,21 @@ pub fn read_augmented<R: Read>(reader: R) -> Result<AugmentedGraph, AugmentedIoE
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let mut parts = trimmed.split_whitespace();
-        let kind = parts.next();
-        let u: Option<u32> = parts.next().and_then(|t| t.parse().ok());
-        let v: Option<u32> = parts.next().and_then(|t| t.parse().ok());
-        let (Some(kind), Some(u), Some(v)) = (kind, u, v) else {
-            return Err(AugmentedIoError::Parse { line: lineno, content: trimmed.to_string() });
-        };
-        for id in [u, v] {
-            if id as usize >= n {
-                return Err(AugmentedIoError::NodeOutOfRange { line: lineno, node: id });
-            }
-        }
-        match kind {
-            "F" => b.add_friendship(NodeId(u), NodeId(v)),
-            "R" => b.add_rejection(NodeId(u), NodeId(v)),
-            _ => {
-                return Err(AugmentedIoError::Parse {
-                    line: lineno,
-                    content: trimmed.to_string(),
-                })
+        // parse_augmented_line only yields Parse / NodeOutOfRange, both of
+        // which lenient mode downgrades to a skip; Io stays fatal above.
+        match parse_augmented_line(trimmed, lineno, n) {
+            Ok((EdgeKind::Friend, u, v)) => b.add_friendship(NodeId(u), NodeId(v)),
+            Ok((EdgeKind::Reject, u, v)) => b.add_rejection(NodeId(u), NodeId(v)),
+            Err(e) => {
+                if lenient {
+                    stats.record(lineno);
+                    continue;
+                }
+                return Err(e);
             }
         }
     }
-    Ok(b.build())
+    Ok((b.build(), stats))
 }
 
 #[cfg(test)]
@@ -192,7 +272,75 @@ mod tests {
     fn rejects_unknown_edge_kind() {
         let data = format!("{HEADER_PREFIX}3\nX 0 1\n");
         let err = read_augmented(data.as_bytes()).unwrap_err();
-        assert!(matches!(err, AugmentedIoError::Parse { line: 2, .. }));
+        match err {
+            AugmentedIoError::Parse { line, token, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(token, "X");
+            }
+            other => panic!("expected Parse, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_error_names_the_bad_endpoint_token() {
+        let data = format!("{HEADER_PREFIX}3\nF 0 1\nR 1 banana\n");
+        let err = read_augmented(data.as_bytes()).unwrap_err();
+        match err {
+            AugmentedIoError::Parse { line, token, content } => {
+                assert_eq!(line, 3);
+                assert_eq!(token, "banana");
+                assert_eq!(content, "R 1 banana");
+            }
+            other => panic!("expected Parse, got {other}"),
+        }
+    }
+
+    #[test]
+    fn truncated_line_reports_end_of_line() {
+        let data = format!("{HEADER_PREFIX}3\nF 0\n");
+        let err = read_augmented(data.as_bytes()).unwrap_err();
+        match err {
+            AugmentedIoError::Parse { token, .. } => assert_eq!(token, "<end of line>"),
+            other => panic!("expected Parse, got {other}"),
+        }
+    }
+
+    #[test]
+    fn in_file_prepends_the_path_and_chains_the_source() {
+        use std::error::Error;
+        let data = format!("{HEADER_PREFIX}3\nX 0 1\n");
+        let err = read_augmented(data.as_bytes()).unwrap_err().in_file("attack.rjg");
+        let msg = err.to_string();
+        assert!(msg.starts_with("attack.rjg: "), "{msg}");
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn lenient_mode_skips_and_counts_bad_lines() {
+        let data = format!("{HEADER_PREFIX}3\nF 0 1\nX 0 1\nR 1 2\nF 0 99\nR 9 bad\n");
+        let (g, stats) = read_augmented_lenient(data.as_bytes()).expect("lenient load");
+        assert_eq!(g.num_friendships(), 1);
+        assert_eq!(g.num_rejections(), 1);
+        assert_eq!(stats.skipped_lines, 3);
+        assert_eq!(stats.first_skipped, Some(3));
+    }
+
+    #[test]
+    fn lenient_mode_still_rejects_a_bad_header() {
+        let err = read_augmented_lenient("F 0 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, AugmentedIoError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn lenient_mode_matches_strict_on_clean_input() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_augmented(&g, &mut buf).expect("write to Vec cannot fail");
+        let strict = read_augmented(buf.as_slice()).expect("strict load");
+        let (lenient, stats) = read_augmented_lenient(buf.as_slice()).expect("lenient load");
+        assert_eq!(strict, lenient);
+        assert!(!stats.is_degraded());
     }
 
     #[test]

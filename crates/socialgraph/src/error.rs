@@ -16,11 +16,32 @@ pub enum GraphError {
     Parse {
         /// 1-based line number.
         line: usize,
+        /// The offending token (or `"<end of line>"` for a truncated line).
+        token: String,
         /// The unparsable content.
         content: String,
     },
     /// Underlying I/O failure while reading or writing an edge list.
     Io(io::Error),
+    /// An error annotated with the path of the file it came from, so a
+    /// loader failure deep in a pipeline still names its input.
+    InFile {
+        /// Path of the file being read.
+        file: String,
+        /// The underlying error (carries the 1-based line and token for
+        /// parse errors).
+        source: Box<GraphError>,
+    },
+}
+
+impl GraphError {
+    /// Wraps the error with the path of the file it came from. Callers
+    /// that open files themselves attach the path at the call site, since
+    /// the readers only see an anonymous `Read`.
+    #[must_use]
+    pub fn in_file(self, file: impl Into<String>) -> GraphError {
+        GraphError::InFile { file: file.into(), source: Box::new(self) }
+    }
 }
 
 impl fmt::Display for GraphError {
@@ -29,10 +50,11 @@ impl fmt::Display for GraphError {
             GraphError::NodeOutOfRange { node, num_nodes } => {
                 write!(f, "node id {node} out of range for graph with {num_nodes} nodes")
             }
-            GraphError::Parse { line, content } => {
-                write!(f, "cannot parse edge-list line {line}: {content:?}")
+            GraphError::Parse { line, token, content } => {
+                write!(f, "cannot parse edge-list line {line}: bad token {token:?} in {content:?}")
             }
             GraphError::Io(e) => write!(f, "edge-list i/o error: {e}"),
+            GraphError::InFile { file, source } => write!(f, "{file}: {source}"),
         }
     }
 }
@@ -41,6 +63,7 @@ impl std::error::Error for GraphError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             GraphError::Io(e) => Some(e),
+            GraphError::InFile { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -68,5 +91,35 @@ mod tests {
         use std::error::Error;
         let e = GraphError::from(io::Error::other("boom"));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn parse_error_names_the_token() {
+        let e = GraphError::Parse {
+            line: 3,
+            token: "banana".to_string(),
+            content: "1 banana".to_string(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("banana"), "{msg}");
+    }
+
+    #[test]
+    fn in_file_prepends_the_path_and_chains_the_source() {
+        use std::error::Error;
+        let e = GraphError::Parse {
+            line: 7,
+            token: "x".to_string(),
+            content: "x y".to_string(),
+        }
+        .in_file("edges.txt");
+        let msg = e.to_string();
+        assert!(msg.starts_with("edges.txt: "), "{msg}");
+        assert!(msg.contains("line 7"), "{msg}");
+        assert!(matches!(
+            e.source(),
+            Some(src) if src.to_string().contains("line 7")
+        ));
     }
 }

@@ -9,6 +9,52 @@ use crate::{Graph, GraphBuilder, GraphError, NodeId};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
+/// Per-load accounting for the lenient readers: how many malformed lines
+/// were dropped and where the first one was, so callers can surface the
+/// degradation in their reports instead of silently losing edges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Number of malformed lines skipped.
+    pub skipped_lines: usize,
+    /// 1-based line number of the first skipped line, if any.
+    pub first_skipped: Option<usize>,
+}
+
+impl LoadStats {
+    /// True when the load dropped at least one line.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.skipped_lines > 0
+    }
+
+    /// Records one skipped line. Public so sibling loaders (the rejection
+    /// crate's augmented reader) can share the same accounting type.
+    pub fn record(&mut self, line: usize) {
+        self.skipped_lines += 1;
+        if self.first_skipped.is_none() {
+            self.first_skipped = Some(line);
+        }
+    }
+}
+
+/// Parses one non-comment edge-list line into its raw endpoint labels,
+/// naming the offending token on failure.
+fn parse_edge_line(trimmed: &str, lineno: usize) -> Result<(u64, u64), GraphError> {
+    let mut parts = trimmed.split_whitespace();
+    let parse = |tok: Option<&str>| -> Result<u64, GraphError> {
+        let bad = |token: &str| GraphError::Parse {
+            line: lineno,
+            token: token.to_string(),
+            content: trimmed.to_string(),
+        };
+        match tok {
+            Some(t) => t.parse().map_err(|_| bad(t)),
+            None => Err(bad("<end of line>")),
+        }
+    };
+    Ok((parse(parts.next())?, parse(parts.next())?))
+}
+
 /// Reads a SNAP edge list, densely relabeling arbitrary node ids to
 /// `0..n`. Lines starting with `#` are comments; directed duplicates are
 /// merged into single undirected edges.
@@ -30,6 +76,37 @@ use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 /// # Ok::<(), socialgraph::GraphError>(())
 /// ```
 pub fn read_edge_list<R: Read>(reader: R) -> Result<(Graph, Vec<u64>), GraphError> {
+    let (g, labels, _) = read_edge_list_impl(reader, false)?;
+    Ok((g, labels))
+}
+
+/// Like [`read_edge_list`], but malformed lines are skipped and counted
+/// instead of failing the whole load. I/O errors remain fatal. The returned
+/// [`LoadStats`] lets the caller report how much input was dropped.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on read failures.
+///
+/// ```
+/// use socialgraph::io::read_edge_list_lenient;
+/// let data = "1 2\n2 banana\n2 3\n";
+/// let (g, _, stats) = read_edge_list_lenient(data.as_bytes())?;
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(stats.skipped_lines, 1);
+/// assert_eq!(stats.first_skipped, Some(2));
+/// # Ok::<(), socialgraph::GraphError>(())
+/// ```
+pub fn read_edge_list_lenient<R: Read>(
+    reader: R,
+) -> Result<(Graph, Vec<u64>, LoadStats), GraphError> {
+    read_edge_list_impl(reader, true)
+}
+
+fn read_edge_list_impl<R: Read>(
+    reader: R,
+    lenient: bool,
+) -> Result<(Graph, Vec<u64>, LoadStats), GraphError> {
     let reader = BufReader::new(reader);
     // BTreeMap rather than HashMap: this crate's kernels are under the
     // `cargo xtask check` hash-collection ban, and the interner's dense ids
@@ -37,6 +114,7 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<(Graph, Vec<u64>), GraphErro
     let mut ids: BTreeMap<u64, u32> = BTreeMap::new();
     let mut labels: Vec<u64> = Vec::new();
     let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut stats = LoadStats::default();
 
     let intern = |raw: u64, ids: &mut BTreeMap<u64, u32>, labels: &mut Vec<u64>| -> u32 {
         *ids.entry(raw).or_insert_with(|| {
@@ -51,15 +129,18 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<(Graph, Vec<u64>), GraphErro
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let mut parts = trimmed.split_whitespace();
-        let parse = |tok: Option<&str>| -> Result<u64, GraphError> {
-            tok.and_then(|t| t.parse().ok()).ok_or_else(|| GraphError::Parse {
-                line: lineno + 1,
-                content: trimmed.to_string(),
-            })
+        // Parse both endpoints before interning either, so a half-valid
+        // line in lenient mode never plants a spurious isolated node.
+        let (u, v) = match parse_edge_line(trimmed, lineno + 1) {
+            Ok(pair) => pair,
+            Err(e) => {
+                if lenient {
+                    stats.record(lineno + 1);
+                    continue;
+                }
+                return Err(e);
+            }
         };
-        let u = parse(parts.next())?;
-        let v = parse(parts.next())?;
         let u = intern(u, &mut ids, &mut labels);
         let v = intern(v, &mut ids, &mut labels);
         edges.push((u, v));
@@ -69,7 +150,7 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<(Graph, Vec<u64>), GraphErro
     for (u, v) in edges {
         b.add_edge(NodeId(u), NodeId(v));
     }
-    Ok((b.build(), labels))
+    Ok((b.build(), labels, stats))
 }
 
 /// Writes `g` as a SNAP edge list (one `u v` line per undirected edge, with
@@ -112,6 +193,59 @@ mod tests {
     fn rejects_garbage_lines() {
         let err = read_edge_list("1 banana\n".as_bytes()).unwrap_err();
         assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_error_carries_the_offending_token() {
+        let err = read_edge_list("# ok\n1 2\n3 banana\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, token, content } => {
+                assert_eq!(line, 3);
+                assert_eq!(token, "banana");
+                assert_eq!(content, "3 banana");
+            }
+            other => panic!("expected Parse, got {other}"),
+        }
+    }
+
+    #[test]
+    fn truncated_line_reports_end_of_line() {
+        let err = read_edge_list("1\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { token, .. } => assert_eq!(token, "<end of line>"),
+            other => panic!("expected Parse, got {other}"),
+        }
+    }
+
+    #[test]
+    fn lenient_mode_skips_and_counts_bad_lines() {
+        let data = "1 2\nbananas everywhere\n2 3\n4 -1\n3 1\n";
+        let (g, labels, stats) = read_edge_list_lenient(data.as_bytes()).expect("lenient load");
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(labels, vec![1, 2, 3]);
+        assert_eq!(stats.skipped_lines, 2);
+        assert_eq!(stats.first_skipped, Some(2));
+        assert!(stats.is_degraded());
+    }
+
+    #[test]
+    fn lenient_mode_never_interns_nodes_from_skipped_lines() {
+        // "4" parses but its partner does not: node 4 must not appear.
+        let (g, labels, stats) =
+            read_edge_list_lenient("1 2\n4 oops\n".as_bytes()).expect("lenient load");
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(labels, vec![1, 2]);
+        assert_eq!(stats.skipped_lines, 1);
+    }
+
+    #[test]
+    fn lenient_mode_matches_strict_on_clean_input() {
+        let data = "# header\n1 2\n2 3\n";
+        let (g, labels) = read_edge_list(data.as_bytes()).expect("strict load");
+        let (g2, labels2, stats) = read_edge_list_lenient(data.as_bytes()).expect("lenient load");
+        assert_eq!(g, g2);
+        assert_eq!(labels, labels2);
+        assert_eq!(stats, LoadStats::default());
     }
 
     #[test]

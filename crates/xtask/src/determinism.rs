@@ -17,7 +17,9 @@
 //! unseeded randomness even when the OS would happily hand both CLI runs
 //! the same ASLR layout.
 
-use rejecto_core::{DetectionReport, IterativeDetector, RejectoConfig, Seeds, Termination};
+use rejecto_core::{
+    Checkpoint, Completion, DetectionReport, IterativeDetector, RejectoConfig, Seeds, Termination,
+};
 use rejection::io::write_augmented;
 use simulator::{Scenario, ScenarioConfig, SimOutput};
 use socialgraph::surrogates::Surrogate;
@@ -59,6 +61,24 @@ fn render_report(report: &DetectionReport) -> String {
             g.acceptance_rate.to_bits(),
             g.nodes
         );
+    }
+    match &report.completion {
+        Completion::Complete => {
+            let _ = writeln!(out, "completion=complete");
+        }
+        Completion::Partial { completed_rounds, completed_k_indices, reason } => {
+            let _ = writeln!(
+                out,
+                "completion=partial reason={reason:?} completed_rounds={completed_rounds} \
+                 k_indices={completed_k_indices:?}"
+            );
+        }
+        other => {
+            let _ = writeln!(out, "completion={other:?}");
+        }
+    }
+    for f in &report.failures {
+        let _ = writeln!(out, "failure={f}");
     }
     out
 }
@@ -133,14 +153,57 @@ pub fn run() -> Result<String, String> {
                  {diff_line})\n--- threads={threads} ---\n{rt}--- auto ---\n{report1}"
             ));
         }
+        kill_and_resume(&sim1, threads, &rt)?;
     }
 
     Ok(format!(
         "determinism: OK — {} nodes, {} graph bytes, {} detection rounds, \
          both runs byte-identical; k-sweep artifacts identical at \
-         threads=1/4/auto (seed {SEED})",
+         threads=1/4/auto; kill-and-resume byte-identical at threads=1/4 \
+         (seed {SEED})",
         sim1.graph.num_nodes(),
         bytes1.len(),
         r1.rounds
     ))
+}
+
+/// Kill-and-resume check: interrupt the run after one pruning round (the
+/// deterministic `max_rounds` budget), serialize the checkpoint through
+/// its JSON wire format, resume from the deserialized copy, and demand the
+/// resumed report render byte-identically to the uninterrupted run at the
+/// same thread count.
+fn kill_and_resume(sim: &SimOutput, threads: usize, full_render: &str) -> Result<(), String> {
+    let mut config = RejectoConfig { threads, ..RejectoConfig::default() };
+    config.budget.max_rounds = Some(1);
+    let halted = IterativeDetector::new(config)
+        .detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES));
+    if !halted.is_partial() {
+        return Err(format!(
+            "kill-and-resume fixture degenerated: the max_rounds=1 run at \
+             threads={threads} completed in one round, so the resume path \
+             went unexercised; grow the scenario"
+        ));
+    }
+
+    let json = Checkpoint::capture(&sim.graph, &halted).to_json();
+    let restored = Checkpoint::from_json(&json)
+        .map_err(|e| format!("checkpoint JSON round-trip failed at threads={threads}: {e}"))?;
+    let resumed = IterativeDetector::new(RejectoConfig { threads, ..RejectoConfig::default() })
+        .resume(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES), &restored)
+        .map_err(|e| format!("resume rejected its own checkpoint at threads={threads}: {e}"))?;
+    let rr = render_report(&resumed);
+    if rr != full_render {
+        let diff_line = rr
+            .lines()
+            .zip(full_render.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        return Err(format!(
+            "kill-and-resume diverged at threads={threads}: resumed report \
+             differs from the uninterrupted run (first differing line \
+             {diff_line})\n--- resumed ---\n{rr}--- uninterrupted ---\n{full_render}"
+        ));
+    }
+    Ok(())
 }

@@ -1,6 +1,6 @@
 //! The source-scanning lint pass behind `cargo xtask check`.
 //!
-//! Five rules, all enforcing the determinism-and-robustness contract the
+//! Six rules, all enforcing the determinism-and-robustness contract the
 //! reproduction depends on (DESIGN.md "Static analysis & invariants"):
 //!
 //! 1. **no-unwrap** — library crates may not call `.unwrap()`; failures
@@ -19,7 +19,17 @@
 //!    `Vec`s.
 //! 4. **forbid-unsafe** — every crate root must carry
 //!    `#![forbid(unsafe_code)]`.
-//! 5. **no-ad-hoc-threads** — thread spawning is confined to the
+//! 5. **no-panic** — library *runtime* paths (the `/src/` trees of the
+//!    [`NO_UNWRAP_CRATES`], outside `#[cfg(test)]` modules and the
+//!    dedicated invariants modules) may not call `panic!`, `todo!`, or
+//!    `unimplemented!`: a worker panic used to take down the whole sweep
+//!    pool, and even now that the pool confines panics per slot, the
+//!    structured `RuntimeError` path is the supported way to fail.
+//!    `unreachable!` is allowed only with a message long enough to state
+//!    *why* the arm is impossible (same bar as `.expect`). Deliberate
+//!    panics (the fault-injection trigger, invariant checkers) opt out
+//!    with the pragma or live in exempt modules.
+//! 6. **no-ad-hoc-threads** — thread spawning is confined to the
 //!    designated pool/cluster modules ([`THREAD_POOL_MODULES`]). Ad-hoc
 //!    concurrency is where nondeterminism sneaks in: a completion-order
 //!    reduction or a shared mutable accumulator gives answers that vary
@@ -227,11 +237,38 @@ fn allowed(raw_line: &str, rule: &str) -> bool {
 /// literal, `None` for computed messages (which the rule lets through —
 /// a `format!` invariant message is fine).
 fn expect_literal(stripped_line: &str, idx: usize) -> Option<&str> {
-    let after = &stripped_line[idx + ".expect(".len()..];
-    let after = after.trim_start();
-    let rest = after.strip_prefix('"')?;
-    let end = rest.find('"')?;
-    Some(&rest[..end])
+    string_literal_arg(&stripped_line[idx + ".expect(".len()..])
+}
+
+/// The leading string literal of a macro/call argument list (`rest` starts
+/// right after the opening parenthesis); `None` when the first argument is
+/// not a plain string literal.
+fn string_literal_arg(rest: &str) -> Option<&str> {
+    let after = rest.trim_start();
+    let body = after.strip_prefix('"')?;
+    let end = body.find('"')?;
+    Some(&body[..end])
+}
+
+/// The 0-based line of the first `#[cfg(test)]` *module* (the attribute
+/// followed by a `mod` item), after which the **no-panic** rule stops:
+/// tests panic on purpose. A `#[cfg(test)]` on a lone helper method does
+/// not end the scan.
+fn test_module_start(stripped: &str) -> usize {
+    let lines: Vec<&str> = stripped.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            let follows_mod = lines[i + 1..]
+                .iter()
+                .map(|l| l.trim_start())
+                .find(|l| !l.is_empty())
+                .is_some_and(|l| l.starts_with("mod ") || l.starts_with("pub mod "));
+            if follows_mod {
+                return i;
+            }
+        }
+    }
+    usize::MAX
 }
 
 /// Runs every applicable rule over one file.
@@ -245,6 +282,14 @@ pub fn lint_file(f: &SourceFile) -> Vec<Violation> {
     let rng_banned = !RNG_EXEMPT_CRATES.contains(&f.crate_name);
     let threads_banned = !THREAD_POOL_MODULES.contains(&f.rel_path)
         && !THREAD_EXEMPT_CRATES.contains(&f.crate_name);
+    // no-panic covers library *runtime* paths only: `/src/` trees of the
+    // no-unwrap crates, minus the invariants modules (whose whole job is
+    // panicking on corrupted state) and everything from the first
+    // `#[cfg(test)] mod` down.
+    let panic_banned = unwrap_banned
+        && f.rel_path.contains("/src/")
+        && !f.rel_path.contains("invariants");
+    let test_start = if panic_banned { test_module_start(&stripped) } else { 0 };
 
     for (lineno0, line) in stripped.lines().enumerate() {
         let raw = raw_lines.get(lineno0).copied().unwrap_or("");
@@ -278,6 +323,42 @@ pub fn lint_file(f: &SourceFile) -> Vec<Violation> {
                     }
                 }
                 start = idx + ".expect(".len();
+            }
+        }
+        if panic_banned && lineno0 < test_start && !allowed(raw, "no-panic") {
+            for mac in ["panic!(", "todo!(", "unimplemented!("] {
+                if line.contains(mac) {
+                    out.push(Violation {
+                        file: f.rel_path.to_string(),
+                        line: line_no,
+                        rule: "no-panic",
+                        message: format!(
+                            "`{}` in a library runtime path; fail through the \
+                             structured RuntimeError taxonomy instead",
+                            &mac[..mac.len() - 1]
+                        ),
+                    });
+                }
+            }
+            if let Some(idx) = line.find("unreachable!(") {
+                let arg = &line[idx + "unreachable!(".len()..];
+                let weak = match string_literal_arg(arg) {
+                    Some(msg) => msg.len() < MIN_EXPECT_MESSAGE,
+                    // Bare `unreachable!()` is weak; a computed message
+                    // (format!) is accepted, same as `.expect`.
+                    None => arg.trim_start().starts_with(')'),
+                };
+                if weak {
+                    out.push(Violation {
+                        file: f.rel_path.to_string(),
+                        line: line_no,
+                        rule: "no-panic",
+                        message: format!(
+                            "`unreachable!` without a message stating why the arm \
+                             is impossible (< {MIN_EXPECT_MESSAGE} chars)"
+                        ),
+                    });
+                }
             }
         }
         if rng_banned && line.contains("thread_rng") && !allowed(raw, "no-unseeded-rng") {
@@ -453,6 +534,90 @@ mod tests {
         let src = "let pats = [\"thread::spawn\", \"thread::scope\"];\n";
         assert!(lint_file(&file("xtask", src)).is_empty());
         assert_eq!(lint_file(&file("core", src)).len(), 1);
+    }
+
+    #[test]
+    fn panic_in_library_runtime_path_is_flagged() {
+        for src in [
+            "fn f() { panic!(\"boom\"); }\n",
+            "fn f() { todo!() }\n",
+            "fn f() { unimplemented!() }\n",
+        ] {
+            let v = lint_file(&file("core", src));
+            assert_eq!(v.len(), 1, "{src:?}");
+            assert_eq!(v[0].rule, "no-panic");
+        }
+    }
+
+    #[test]
+    fn panic_outside_no_unwrap_crates_passes() {
+        let src = "fn f() { panic!(\"boom\"); }\n";
+        assert!(lint_file(&file("bench", src)).is_empty());
+    }
+
+    #[test]
+    fn panic_with_pragma_is_allowed() {
+        let src = "panic!(\"injected fault\") // xtask-allow: no-panic\n";
+        assert!(lint_file(&file("core", src)).is_empty());
+    }
+
+    #[test]
+    fn panic_below_the_test_module_passes() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { panic!(\"t\"); }\n}\n";
+        assert!(lint_file(&file("core", src)).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_on_a_lone_item_does_not_end_the_scan() {
+        let src = "#[cfg(test)]\nfn helper() {}\nfn f() { panic!(\"boom\"); }\n";
+        let v = lint_file(&file("core", src));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn invariants_modules_may_panic() {
+        let f = SourceFile {
+            rel_path: "crates/core/src/invariants.rs",
+            crate_name: "core",
+            is_crate_root: false,
+            text: "pub fn check() { panic!(\"corrupted bookkeeping\"); }\n",
+        };
+        assert!(lint_file(&f).is_empty());
+    }
+
+    #[test]
+    fn test_directories_may_panic() {
+        let f = SourceFile {
+            rel_path: "crates/core/tests/faults.rs",
+            crate_name: "core",
+            is_crate_root: false,
+            text: "fn f() { panic!(\"assertion\"); }\n",
+        };
+        assert!(lint_file(&f).is_empty());
+    }
+
+    #[test]
+    fn bare_unreachable_is_flagged_but_messaged_unreachable_passes() {
+        let bare = "fn f() { unreachable!() }\n";
+        let v = lint_file(&file("dataflow", bare));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-panic");
+
+        let weak = "fn f() { unreachable!(\"no\") }\n";
+        assert_eq!(lint_file(&file("dataflow", weak)).len(), 1);
+
+        let messaged = "fn f() { unreachable!(\"retry loop returns or panics\") }\n";
+        assert!(lint_file(&file("dataflow", messaged)).is_empty());
+
+        let computed = "fn f() { unreachable!(\"state {s:?} impossible\") }\n";
+        assert!(lint_file(&file("dataflow", computed)).is_empty());
+    }
+
+    #[test]
+    fn panic_mention_in_comment_is_ignored() {
+        let src = "// a worker panic!(...) here would abort\nfn f() {}\n";
+        assert!(lint_file(&file("core", src)).is_empty());
     }
 
     #[test]

@@ -1,7 +1,12 @@
 //! Subcommand implementations.
 
 use super::args::{ArgError, Args};
-use rejecto_core::{IterativeDetector, RejectoConfig, Seeds, Termination};
+use rejecto_core::{
+    Checkpoint, Completion, DetectionReport, FaultPlan, InterruptReason, IterativeDetector,
+    RejectoConfig, Seeds, Termination,
+};
+use rejection::io::LoadStats;
+use rejection::AugmentedGraph;
 use simulator::{Scenario, ScenarioConfig};
 use socialgraph::surrogates::Surrogate;
 use socialgraph::{analysis, metrics, Graph, NodeId};
@@ -9,6 +14,7 @@ use std::fmt;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
+use std::time::Duration;
 
 /// Top-level CLI error: message plus exit-worthy context.
 #[derive(Debug)]
@@ -45,6 +51,25 @@ macro_rules! cli_from {
 }
 cli_from!(socialgraph::GraphError);
 cli_from!(rejection::io::AugmentedIoError);
+cli_from!(rejecto_core::RuntimeError);
+
+/// Opens a file for reading with the path attached to any failure, since a
+/// bare `io::Error` ("No such file or directory") never names its victim.
+fn open_file(path: &str) -> Result<File, CliError> {
+    File::open(path).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+/// Loads an augmented graph, strictly or leniently; lenient loads return
+/// the skip accounting so commands can surface the degradation.
+fn load_augmented(path: &str, lenient: bool) -> Result<(AugmentedGraph, LoadStats), CliError> {
+    let file = open_file(path)?;
+    if lenient {
+        Ok(rejection::io::read_augmented_lenient(file).map_err(|e| e.in_file(path))?)
+    } else {
+        let g = rejection::io::read_augmented(file).map_err(|e| e.in_file(path))?;
+        Ok((g, LoadStats::default()))
+    }
+}
 
 /// Dispatches a subcommand; `out` receives user-facing output (stdout in
 /// `main`, a buffer in tests).
@@ -97,7 +122,8 @@ fn simulate<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
     let scale: f64 = args.get_or("scale", 0.2)?;
     let host = match args.get("edge-list") {
         Some(path) => {
-            let (g, _) = socialgraph::io::read_edge_list(File::open(&path)?)?;
+            let (g, _) =
+                socialgraph::io::read_edge_list(open_file(&path)?).map_err(|e| e.in_file(&path))?;
             g
         }
         None => {
@@ -167,6 +193,41 @@ fn read_truth(path: &str) -> Result<Vec<NodeId>, CliError> {
     Ok(out)
 }
 
+/// How the user asked to interrupt a run, rendered for report lines.
+fn interrupt_name(reason: InterruptReason) -> &'static str {
+    match reason {
+        InterruptReason::Deadline => "deadline",
+        InterruptReason::PassBudget => "kl-pass budget",
+        InterruptReason::RoundBudget => "round budget",
+        InterruptReason::Cancelled => "cancellation",
+        _ => "interrupt",
+    }
+}
+
+/// Runs the detector in whichever of the four detect/resume ×
+/// with/without-checkpoints modes the flags selected.
+fn run_detector(
+    detector: &IterativeDetector,
+    g: &AugmentedGraph,
+    seeds: &Seeds,
+    termination: Termination,
+    resume_from: Option<&Checkpoint>,
+    checkpoint_path: Option<&str>,
+) -> Result<DetectionReport, CliError> {
+    let mut sink = |ckpt: &Checkpoint| -> std::io::Result<()> {
+        let path = checkpoint_path.expect("sink only installed when a path was given");
+        std::fs::write(path, format!("{}\n", ckpt.to_json()))
+    };
+    match (resume_from, checkpoint_path.is_some()) {
+        (None, false) => Ok(detector.detect(g, seeds, termination)),
+        (None, true) => Ok(detector.detect_with_checkpoints(g, seeds, termination, &mut sink)),
+        (Some(c), false) => Ok(detector.resume(g, seeds, termination, c)?),
+        (Some(c), true) => {
+            Ok(detector.resume_with_checkpoints(g, seeds, termination, c, &mut sink)?)
+        }
+    }
+}
+
 fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
     let graph_path = args.require("graph")?;
     let budget: Option<usize> = args.get_opt("budget")?;
@@ -174,17 +235,72 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
     let truth_path = args.get("truth");
     let json: bool = args.get_or("json", false)?;
     let threads: usize = args.get_or("threads", 0)?;
+    let lenient: bool = args.get_or("lenient", false)?;
+    let deadline_ms: Option<u64> = args.get_opt("deadline-ms")?;
+    let max_passes: Option<u64> = args.get_opt("max-passes")?;
+    let max_rounds: Option<usize> = args.get_opt("max-rounds")?;
+    let checkpoint_path = args.get("checkpoint");
+    let resume_path = args.get("resume");
+    let inject_spec = args.get("inject");
     args.finish()?;
 
-    let g = rejection::io::read_augmented(File::open(&graph_path)?)?;
+    let (g, load_stats) = load_augmented(&graph_path, lenient)?;
+    if load_stats.is_degraded() {
+        let first = load_stats.first_skipped.unwrap_or(0);
+        if json {
+            writeln!(
+                out,
+                "{}",
+                serde_json::json!({
+                    "skipped_lines": load_stats.skipped_lines,
+                    "first_skipped_line": first,
+                })
+            )?;
+        } else {
+            writeln!(
+                out,
+                "lenient load: skipped {} malformed line(s), first at line {first}",
+                load_stats.skipped_lines
+            )?;
+        }
+    }
+
     let termination = match (budget, threshold) {
         (Some(b), Some(t)) => Termination::BudgetOrThreshold { budget: b, threshold: t },
         (Some(b), None) => Termination::SuspectBudget(b),
         (None, Some(t)) => Termination::AcceptanceThreshold(t),
         (None, None) => Termination::AcceptanceThreshold(0.5),
     };
-    let detector = IterativeDetector::new(RejectoConfig { threads, ..RejectoConfig::default() });
-    let report = detector.detect(&g, &Seeds::default(), termination);
+    let mut config = RejectoConfig { threads, ..RejectoConfig::default() };
+    if let Some(ms) = deadline_ms {
+        config.budget.deadline = Some(Duration::from_millis(ms));
+    }
+    if let Some(p) = max_passes {
+        config.budget.max_kl_passes = Some(p);
+    }
+    if let Some(r) = max_rounds {
+        config.budget.max_rounds = Some(r);
+    }
+    if let Some(spec) = &inject_spec {
+        config.faults = FaultPlan::parse(spec).map_err(|e| CliError(format!("--inject: {e}")))?;
+    }
+
+    let resume_from = match &resume_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(p).map_err(|e| CliError(format!("{p}: {e}")))?;
+            Some(Checkpoint::from_json(&text)?)
+        }
+        None => None,
+    };
+    let detector = IterativeDetector::new(config);
+    let report = run_detector(
+        &detector,
+        &g,
+        &Seeds::default(),
+        termination,
+        resume_from.as_ref(),
+        checkpoint_path.as_deref(),
+    )?;
 
     if json {
         for group in &report.groups {
@@ -221,6 +337,38 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
         }
     }
 
+    // Degraded-run diagnostics. These lines only appear for interrupted or
+    // faulted runs, so clean-run JSON output stays one-group-per-line.
+    if let Completion::Partial { completed_rounds, completed_k_indices, reason } =
+        &report.completion
+    {
+        if json {
+            writeln!(
+                out,
+                "{}",
+                serde_json::json!({
+                    "partial": interrupt_name(*reason),
+                    "completed_rounds": *completed_rounds,
+                    "completed_k_indices": completed_k_indices.clone(),
+                })
+            )?;
+        } else {
+            writeln!(
+                out,
+                "partial result: {} tripped after {completed_rounds} completed round(s); \
+                 the groups above are all complete",
+                interrupt_name(*reason)
+            )?;
+        }
+    }
+    for failure in &report.failures {
+        if json {
+            writeln!(out, "{}", serde_json::json!({ "failure": failure.to_string() }))?;
+        } else {
+            writeln!(out, "degraded: {failure}")?;
+        }
+    }
+
     if let Some(path) = truth_path {
         let truth = read_truth(&path)?;
         let mut is_fake = vec![false; g.num_nodes()];
@@ -251,11 +399,13 @@ fn stats<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
 
     let (graph, rejections): (Graph, Option<(u64, u64)>) = match (edge_path, augmented_path) {
         (Some(p), None) => {
-            let (g, _) = socialgraph::io::read_edge_list(File::open(&p)?)?;
+            let (g, _) =
+                socialgraph::io::read_edge_list(open_file(&p)?).map_err(|e| e.in_file(&p))?;
             (g, None)
         }
         (None, Some(p)) => {
-            let ag = rejection::io::read_augmented(File::open(&p)?)?;
+            let ag =
+                rejection::io::read_augmented(open_file(&p)?).map_err(|e| e.in_file(&p))?;
             let rejected_users =
                 ag.nodes().filter(|&u| ag.rejections_received(u) > 0).count() as u64;
             (ag.friendship_graph(), Some((ag.num_rejections(), rejected_users)))
@@ -339,7 +489,8 @@ fn sybilrank_cmd<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> 
     let bottom: usize = args.get_or("bottom", 20)?;
     args.finish()?;
 
-    let (g, _) = socialgraph::io::read_edge_list(File::open(&graph_path)?)?;
+    let (g, _) = socialgraph::io::read_edge_list(open_file(&graph_path)?)
+        .map_err(|e| e.in_file(&graph_path))?;
     if seeds.is_empty() {
         return Err(CliError("sybilrank needs at least one --seeds id".to_string()));
     }
@@ -373,7 +524,8 @@ fn defense<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
     let threads: usize = args.get_or("threads", 0)?;
     args.finish()?;
 
-    let g = rejection::io::read_augmented(File::open(&graph_path)?)?;
+    let g = rejection::io::read_augmented(open_file(&graph_path)?)
+        .map_err(|e| e.in_file(&graph_path))?;
     if seeds.is_empty() {
         return Err(CliError("defense needs at least one --seeds id".to_string()));
     }
@@ -547,6 +699,106 @@ mod tests {
         let serial = run_with("1");
         assert_eq!(serial, run_with("4"), "threads=4 output differs from serial");
         assert_eq!(serial, run_with("0"), "threads=auto output differs from serial");
+    }
+
+    #[test]
+    fn detect_checkpoint_then_resume_matches_uninterrupted_run() {
+        let dir = tmpdir();
+        let stem = dir.join("ckpt");
+        let stem_s = stem.to_str().unwrap();
+        run_to_string("simulate", &["--out", stem_s, "--scale", "0.03", "--fakes", "40"]).unwrap();
+        let graph = format!("{stem_s}.rjg");
+        let ckpt = format!("{stem_s}.ckpt");
+
+        let full = run_to_string(
+            "detect",
+            &["--graph", &graph, "--budget", "40", "--json", "true"],
+        )
+        .unwrap();
+
+        // Interrupt after one round, leaving a checkpoint behind...
+        let partial = run_to_string(
+            "detect",
+            &[
+                "--graph", &graph, "--budget", "40", "--json", "true", "--max-rounds", "1",
+                "--checkpoint", &ckpt,
+            ],
+        )
+        .unwrap();
+        assert!(partial.contains("\"partial\":\"round budget\""), "{partial}");
+
+        // ...then resume: the resumed report re-emits the checkpointed
+        // groups and finishes the run, so its output must be byte-identical
+        // to the uninterrupted run.
+        let resumed = run_to_string(
+            "detect",
+            &["--graph", &graph, "--budget", "40", "--json", "true", "--resume", &ckpt],
+        )
+        .unwrap();
+        assert_eq!(resumed, full, "resumed run differs from the uninterrupted run");
+    }
+
+    #[test]
+    fn detect_deadline_zero_reports_a_partial_run() {
+        let dir = tmpdir();
+        let stem = dir.join("deadline");
+        let stem_s = stem.to_str().unwrap();
+        run_to_string("simulate", &["--out", stem_s, "--scale", "0.03", "--fakes", "30"]).unwrap();
+        let out = run_to_string(
+            "detect",
+            &["--graph", &format!("{stem_s}.rjg"), "--budget", "30", "--deadline-ms", "0"],
+        )
+        .unwrap();
+        assert!(out.contains("partial result: deadline tripped"), "{out}");
+    }
+
+    #[test]
+    fn detect_survives_an_injected_worker_panic() {
+        let dir = tmpdir();
+        let stem = dir.join("inject");
+        let stem_s = stem.to_str().unwrap();
+        run_to_string("simulate", &["--out", stem_s, "--scale", "0.03", "--fakes", "30"]).unwrap();
+        let graph = format!("{stem_s}.rjg");
+        let clean =
+            run_to_string("detect", &["--graph", &graph, "--budget", "30"]).unwrap();
+        // A one-shot panic is retried serially: same answer, no extra lines.
+        let faulted = run_to_string(
+            "detect",
+            &["--graph", &graph, "--budget", "30", "--inject", "worker_panic@k=3"],
+        )
+        .unwrap();
+        assert_eq!(clean, faulted, "one-shot injected panic changed the output");
+        // A persistent panic degrades: the failure surfaces in the report.
+        let degraded = run_to_string(
+            "detect",
+            &["--graph", &graph, "--budget", "30", "--inject", "worker_panic@k=3:always"],
+        )
+        .unwrap();
+        assert!(degraded.contains("degraded:"), "{degraded}");
+    }
+
+    #[test]
+    fn detect_lenient_load_counts_skipped_lines() {
+        let dir = tmpdir();
+        let stem = dir.join("lenient");
+        let stem_s = stem.to_str().unwrap();
+        run_to_string("simulate", &["--out", stem_s, "--scale", "0.03", "--fakes", "30"]).unwrap();
+        let graph = format!("{stem_s}.rjg");
+        let mangled = format!("{stem_s}-mangled.rjg");
+        let mut text = std::fs::read_to_string(&graph).unwrap();
+        text.push_str("X 0 1\nF 0 banana\n");
+        std::fs::write(&mangled, text).unwrap();
+
+        let err = run_to_string("detect", &["--graph", &mangled, "--budget", "30"]).unwrap_err();
+        assert!(err.0.contains(&mangled), "strict error must name the file: {err}");
+        assert!(err.0.contains("\"X\""), "strict error must name the token: {err}");
+
+        let out = run_to_string(
+            "detect",
+            &["--graph", &mangled, "--budget", "30", "--lenient", "true"],
+        )
+        .unwrap();
+        assert!(out.contains("skipped 2 malformed line(s)"), "{out}");
     }
 
     #[test]

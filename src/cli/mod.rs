@@ -49,6 +49,19 @@ COMMANDS:
                                       cores, 1 = serial [default 0].
                                       Results are identical for every
                                       value (deterministic reduction).
+                --lenient <bool>      skip+count malformed graph lines
+                                      instead of failing the load [false]
+                --deadline-ms <n>     wall-clock budget; an expired run
+                                      returns a partial report
+                --max-passes <n>      global KL inner-pass budget
+                --max-rounds <n>      stop after n completed prune rounds
+                --checkpoint <path>   write a resumable checkpoint after
+                                      every completed round
+                --resume <path>       resume from a checkpoint written by
+                                      --checkpoint (same graph required)
+                --inject <spec>       deterministic fault injection, e.g.
+                                      worker_panic@k=3,io_error@round=2,
+                                      deadline=50ms (testing only)
 
   stats       Structural statistics of a graph.
                 --graph <path>        SNAP edge list, or
