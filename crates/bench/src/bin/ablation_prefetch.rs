@@ -41,8 +41,15 @@ fn main() {
     let mut rows = Vec::new();
     let mut baseline_suspects: Option<Vec<rejection::NodeId>> = None;
     for (batch, capacity) in variants {
-        let cfg = ClusterConfig { prefetch_batch: batch, buffer_capacity: capacity, num_workers: 4 };
-        let out = DistributedMaar::new(cfg, rejecto.clone()).solve(&sim.graph);
+        let cfg = ClusterConfig {
+            prefetch_batch: batch,
+            buffer_capacity: capacity,
+            num_workers: 4,
+            ..ClusterConfig::default()
+        };
+        let out = DistributedMaar::new(cfg, rejecto.clone())
+            .solve(&sim.graph)
+            .expect("healthy cluster must solve");
         // The buffer is an optimization: every variant must find the same cut.
         match &baseline_suspects {
             None => baseline_suspects = Some(out.suspects.clone()),

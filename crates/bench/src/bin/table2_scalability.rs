@@ -28,6 +28,8 @@ struct Row {
     seconds: f64,
     fetch_batches: u64,
     nodes_fetched: u64,
+    worker_restarts: u64,
+    shards_rebalanced: u64,
     suspects: usize,
 }
 
@@ -66,9 +68,10 @@ fn main() {
             num_workers: 4,
             prefetch_batch: 512,
             buffer_capacity: n.max(1024),
+            ..ClusterConfig::default()
         };
         let solver = DistributedMaar::new(cluster, rejecto.clone());
-        let out = solver.solve(&sim.graph);
+        let out = solver.solve(&sim.graph).expect("healthy cluster must solve");
         eprintln!(
             "  users={n} edges={} time={:.2?} batches={} fetched={}",
             sim.graph.num_friendships(),
@@ -84,6 +87,8 @@ fn main() {
             seconds: out.elapsed.as_secs_f64(),
             fetch_batches: out.io.fetch_batches,
             nodes_fetched: out.io.nodes_fetched,
+            worker_restarts: out.io.worker_restarts,
+            shards_rebalanced: out.io.shards_rebalanced,
             suspects: out.suspects.len(),
         });
     }

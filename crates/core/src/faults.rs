@@ -45,6 +45,25 @@ pub enum Fault {
         /// Deadline in milliseconds.
         millis: u64,
     },
+    /// Kill a distributed worker immediately before the cluster's
+    /// `fetch`-numbered fetch batch (1-based), `deaths` times in a row —
+    /// each lineage respawn dies again until the schedule is spent, so
+    /// `deaths` larger than the cluster's respawn budget exercises shard
+    /// rebalancing. Parsed from `worker_death@fetch=<n>[:x<m>]`.
+    WorkerDeath {
+        /// 1-based fetch batch at which the schedule starts firing.
+        fetch: u64,
+        /// Consecutive deaths (respawns that die again); at least 1.
+        deaths: u32,
+    },
+    /// Make one master↔worker request during sweep index `k_index` hang
+    /// (the request is swallowed, the worker never answers), so the
+    /// per-request watchdog — not channel disconnection — must detect it.
+    /// One-shot. Parsed from `worker_hang@k=<i>`.
+    WorkerHang {
+        /// Sweep index during which one request hangs.
+        k_index: usize,
+    },
 }
 
 /// A declarative list of faults to arm for one run.
@@ -76,8 +95,9 @@ impl FaultPlan {
 
     /// Parses the CLI/env injection syntax: a comma-separated list of
     /// `worker_panic@k=<i>`, `worker_panic@k=<i>:always`,
-    /// `io_error@round=<r>`, and `deadline=<ms>ms` specs. An empty string
-    /// parses to the empty plan.
+    /// `io_error@round=<r>`, `deadline=<ms>ms`, and the distributed forms
+    /// `worker_death@fetch=<n>[:x<m>]` (a repeated-death schedule) and
+    /// `worker_hang@k=<i>`. An empty string parses to the empty plan.
     ///
     /// # Errors
     ///
@@ -112,10 +132,41 @@ impl FaultPlan {
                     format!("bad deadline in `{part}`: expected deadline=<millis>ms")
                 })?;
                 plan.push(Fault::Deadline { millis });
+            } else if let Some(rest) = part.strip_prefix("worker_death@fetch=") {
+                let (num, deaths) = match rest.split_once(":x") {
+                    Some((n, m)) => {
+                        let deaths = m.parse::<u32>().map_err(|_| {
+                            format!(
+                                "bad repeat count in `{part}`: expected \
+                                 worker_death@fetch=<n>:x<m>"
+                            )
+                        })?;
+                        if deaths == 0 {
+                            return Err(format!(
+                                "bad repeat count in `{part}`: at least one death"
+                            ));
+                        }
+                        (n, deaths)
+                    }
+                    None => (rest, 1),
+                };
+                let fetch = num.parse::<u64>().map_err(|_| {
+                    format!("bad fetch number in `{part}`: expected worker_death@fetch=<n>")
+                })?;
+                if fetch == 0 {
+                    return Err(format!("bad fetch number in `{part}`: fetches are 1-based"));
+                }
+                plan.push(Fault::WorkerDeath { fetch, deaths });
+            } else if let Some(rest) = part.strip_prefix("worker_hang@k=") {
+                let k_index = rest.parse::<usize>().map_err(|_| {
+                    format!("bad sweep index in `{part}`: expected worker_hang@k=<index>")
+                })?;
+                plan.push(Fault::WorkerHang { k_index });
             } else {
                 return Err(format!(
                     "unknown fault `{part}`: expected worker_panic@k=<i>[:always], \
-                     io_error@round=<r>, or deadline=<ms>ms"
+                     io_error@round=<r>, deadline=<ms>ms, \
+                     worker_death@fetch=<n>[:x<m>], or worker_hang@k=<i>"
                 ));
             }
         }
@@ -183,6 +234,10 @@ impl FaultInjector {
                     let d = Duration::from_millis(millis);
                     deadline = Some(deadline.map_or(d, |prev| prev.min(d)));
                 }
+                // Distributed-only injection points; the single-process
+                // runtime has no fetches or cluster requests to kill.
+                // They are consumed by [`ClusterFaults`] instead.
+                Fault::WorkerDeath { .. } | Fault::WorkerHang { .. } => {}
             }
         }
         FaultInjector {
@@ -221,6 +276,114 @@ impl FaultInjector {
         let mut state = self.inner.lock().expect("fault-injector mutex poisoned");
         for armed in &mut state.io_errors {
             if armed.round == round && !armed.spent {
+                armed.spent = true;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[derive(Debug)]
+struct ArmedDeath {
+    fetch: u64,
+    deaths: u32,
+    spent: bool,
+}
+
+#[derive(Debug)]
+struct ArmedHang {
+    k_index: usize,
+    spent: bool,
+}
+
+#[derive(Debug)]
+struct ClusterFaultState {
+    deaths: Vec<ArmedDeath>,
+    hangs: Vec<ArmedHang>,
+}
+
+/// The distributed-runtime side of a [`FaultPlan`]: the cluster master
+/// probes it at fetch batches and sweep boundaries. Public (unlike the
+/// crate-private [`FaultInjector`]) because the probing runtime lives in
+/// `crates/dataflow`, outside this crate.
+///
+/// Clones share consumption state, so a schedule fires exactly once per
+/// run regardless of how many rounds or clusters probe it.
+#[derive(Debug, Clone)]
+pub struct ClusterFaults {
+    inner: Arc<Mutex<ClusterFaultState>>,
+    deadline: Option<Duration>,
+}
+
+impl Default for ClusterFaults {
+    fn default() -> Self {
+        ClusterFaults::new(&FaultPlan::default())
+    }
+}
+
+impl ClusterFaults {
+    /// Arms the distributed faults (and the injected deadline) of `plan`.
+    /// Non-distributed faults in the plan are ignored here.
+    pub fn new(plan: &FaultPlan) -> Self {
+        let mut deaths = Vec::new();
+        let mut hangs = Vec::new();
+        let mut deadline: Option<Duration> = None;
+        for &fault in plan.faults() {
+            match fault {
+                Fault::WorkerDeath { fetch, deaths: n } => {
+                    deaths.push(ArmedDeath { fetch, deaths: n, spent: false });
+                }
+                Fault::WorkerHang { k_index } => {
+                    hangs.push(ArmedHang { k_index, spent: false });
+                }
+                Fault::Deadline { millis } => {
+                    let d = Duration::from_millis(millis);
+                    deadline = Some(deadline.map_or(d, |prev| prev.min(d)));
+                }
+                // Single-process injection points, consumed by the
+                // crate-private [`FaultInjector`].
+                Fault::WorkerPanic { .. } | Fault::CheckpointIoError { .. } => {}
+            }
+        }
+        ClusterFaults {
+            inner: Arc::new(Mutex::new(ClusterFaultState { deaths, hangs })),
+            deadline,
+        }
+    }
+
+    /// The injected wall-clock deadline, if the plan armed one.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Whether the plan injects nothing distributed (no deaths, no hangs).
+    pub fn is_empty(&self) -> bool {
+        let state = self.inner.lock().expect("cluster-fault mutex poisoned");
+        state.deaths.is_empty() && state.hangs.is_empty()
+    }
+
+    /// Consecutive worker deaths scheduled to start at fetch batch
+    /// `fetch_seq` (1-based). Consumes the matching schedule: it fires for
+    /// exactly one fetch batch per run.
+    pub fn deaths_at(&self, fetch_seq: u64) -> u32 {
+        let mut state = self.inner.lock().expect("cluster-fault mutex poisoned");
+        let mut total = 0;
+        for armed in &mut state.deaths {
+            if armed.fetch == fetch_seq && !armed.spent {
+                armed.spent = true;
+                total += armed.deaths;
+            }
+        }
+        total
+    }
+
+    /// Whether one request of sweep index `k_index` should hang. One-shot:
+    /// consumed by the first probe that fires.
+    pub fn take_hang(&self, k_index: usize) -> bool {
+        let mut state = self.inner.lock().expect("cluster-fault mutex poisoned");
+        for armed in &mut state.hangs {
+            if armed.k_index == k_index && !armed.spent {
                 armed.spent = true;
                 return true;
             }
@@ -275,10 +438,62 @@ mod tests {
 
     #[test]
     fn malformed_specs_are_rejected_with_context() {
-        for bad in ["worker_panic@k=x", "io_error@round=0", "io_error@round=", "boom", "deadline=fast"] {
+        for bad in [
+            "worker_panic@k=x",
+            "io_error@round=0",
+            "io_error@round=",
+            "boom",
+            "deadline=fast",
+            "worker_death@fetch=0",
+            "worker_death@fetch=x",
+            "worker_death@fetch=3:x0",
+            "worker_death@fetch=3:xq",
+            "worker_hang@k=",
+        ] {
             let err = FaultPlan::parse(bad).expect_err("spec must be rejected");
             assert!(err.contains(bad.split('=').next().unwrap_or(bad)), "{bad}: {err}");
         }
+    }
+
+    #[test]
+    fn parses_the_distributed_forms() {
+        let plan = FaultPlan::parse("worker_death@fetch=7,worker_death@fetch=2:x5,worker_hang@k=3")
+            .expect("spec is well-formed");
+        assert_eq!(
+            plan.faults(),
+            &[
+                Fault::WorkerDeath { fetch: 7, deaths: 1 },
+                Fault::WorkerDeath { fetch: 2, deaths: 5 },
+                Fault::WorkerHang { k_index: 3 },
+            ]
+        );
+    }
+
+    #[test]
+    fn cluster_faults_consume_death_schedules_once() {
+        let plan = FaultPlan::parse("worker_death@fetch=2:x3").expect("spec is well-formed");
+        let faults = ClusterFaults::new(&plan);
+        assert!(!faults.is_empty());
+        assert_eq!(faults.deaths_at(1), 0);
+        assert_eq!(faults.deaths_at(2), 3);
+        assert_eq!(faults.deaths_at(2), 0, "a schedule fires for one fetch batch only");
+    }
+
+    #[test]
+    fn cluster_faults_hangs_are_one_shot_and_shared() {
+        let plan = FaultPlan::parse("worker_hang@k=4,deadline=30ms").expect("spec is well-formed");
+        let faults = ClusterFaults::new(&plan);
+        let clone = faults.clone();
+        assert_eq!(faults.deadline(), Some(Duration::from_millis(30)));
+        assert!(!faults.take_hang(3));
+        assert!(clone.take_hang(4));
+        assert!(!faults.take_hang(4), "clone must consume the shared hang");
+    }
+
+    #[test]
+    fn cluster_faults_ignore_single_process_faults() {
+        let plan = FaultPlan::parse("worker_panic@k=1,io_error@round=2").expect("well-formed");
+        assert!(ClusterFaults::new(&plan).is_empty());
     }
 
     #[test]

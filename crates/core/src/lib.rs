@@ -54,7 +54,7 @@ pub use detect::{
     CheckpointSink, Completion, DetectedGroup, DetectionReport, InterruptReason,
     IterativeDetector, Seeds, Termination,
 };
-pub use faults::{Fault, FaultPlan};
+pub use faults::{ClusterFaults, Fault, FaultPlan};
 /// Re-exported so report consumers can name the exact rational sweep
 /// parameter [`DetectedGroup::k`] carries without depending on `kl`.
 pub use kl::KParam;

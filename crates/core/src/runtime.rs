@@ -56,6 +56,14 @@ pub enum RuntimeError {
         /// What disagreed.
         message: String,
     },
+    /// The distributed cluster could not serve a request even after
+    /// bounded respawns and shard rebalancing (e.g. every worker is gone),
+    /// or was misconfigured. Carries the rendered
+    /// `dataflow::ClusterError`.
+    ClusterFailed {
+        /// The underlying cluster error, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -77,6 +85,9 @@ impl fmt::Display for RuntimeError {
             ),
             RuntimeError::CheckpointMismatch { message } => {
                 write!(f, "checkpoint does not match the graph: {message}")
+            }
+            RuntimeError::ClusterFailed { message } => {
+                write!(f, "distributed cluster failed: {message}")
             }
         }
     }
@@ -123,5 +134,8 @@ mod tests {
 
         let v = RuntimeError::CheckpointVersion { found: 9, supported: 1 };
         assert!(v.to_string().contains("version 9"));
+
+        let c = RuntimeError::ClusterFailed { message: "all workers lost".to_string() };
+        assert!(c.to_string().contains("all workers lost"));
     }
 }

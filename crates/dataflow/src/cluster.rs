@@ -5,18 +5,48 @@
 //! list, and pulls node neighborhoods through a prefetching LRU buffer.
 //! Every master↔worker exchange is counted in [`IoStats`], so the Table-II
 //! harness can report both wall time and simulated network traffic.
+//!
+//! # Failure model
+//!
+//! The cluster keeps the source graph as its **lineage** (the RDD model)
+//! and degrades through three tiers before ever failing a request:
+//!
+//! 1. **Respawn**: a dead worker (broken channel) or a *hung* worker
+//!    (no answer within [`ClusterConfig::request_deadline`], detected by
+//!    the per-request watchdog) is rebuilt from lineage after a
+//!    deterministic exponential backoff, and the in-flight request is
+//!    replayed ([`IoStats::worker_restarts`]).
+//! 2. **Rebalance**: a worker that keeps dying through the whole
+//!    [`ClusterConfig::max_respawns`] budget has its shard merged onto an
+//!    adjacent survivor ([`IoStats::shards_rebalanced`]); the algorithm
+//!    sees the same data from fewer workers.
+//! 3. **Structured failure**: only when no survivor remains does a
+//!    [`ClusterError`] surface — never a panic.
+//!
+//! Because recovery replays requests against byte-identical lineage data,
+//! any fault schedule that leaves at least one worker alive yields results
+//! byte-identical to the failure-free run.
 
+use crate::error::ClusterError;
 use crate::LruCache;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use kl::{BucketList, KParam};
+use kl::{BucketList, CancelReason, CancelToken, KParam};
 use rejection::{AugmentedGraph, NodeId};
-use rejecto_core::{InitialPlacement, RejectoConfig};
+use rejecto_core::{
+    ClusterFaults, Completion, InitialPlacement, InterruptReason, RejectoConfig, RuntimeError,
+};
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 const LEGIT: u8 = 0;
 const SUSPECT: u8 = 1;
+
+/// Never tighten the per-request watchdog below this, even when the run
+/// deadline is about to expire: a healthy worker that needs a few
+/// milliseconds must not be misdiagnosed as hung and respawned in a loop.
+const WATCHDOG_FLOOR: Duration = Duration::from_millis(250);
 
 /// Per-node adjacency shipped from a worker to the master.
 #[derive(Debug, Clone, Default)]
@@ -28,7 +58,7 @@ struct NodeData {
     rejectors_of: Vec<u32>,
 }
 
-/// Cluster sizing.
+/// Cluster sizing and failure-handling knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterConfig {
     /// Worker threads (graph shards).
@@ -37,11 +67,57 @@ pub struct ClusterConfig {
     pub prefetch_batch: usize,
     /// Capacity of the master's LRU prefetch buffer, in nodes.
     pub buffer_capacity: usize,
+    /// Watchdog deadline for one master↔worker request: a worker that has
+    /// not answered within this window is declared hung and respawned from
+    /// lineage. Generous by default — it only has to beat a genuine hang,
+    /// not a slow shard.
+    pub request_deadline: Duration,
+    /// Respawn attempts per request before the worker is declared
+    /// persistently failed and its shard is rebalanced onto a survivor.
+    pub max_respawns: usize,
+    /// Base of the deterministic exponential backoff between respawn
+    /// attempts (`backoff_base * 2^attempt`, saturating).
+    pub backoff_base: Duration,
 }
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        ClusterConfig { num_workers: 4, prefetch_batch: 256, buffer_capacity: 1 << 16 }
+        ClusterConfig {
+            num_workers: 4,
+            prefetch_batch: 256,
+            buffer_capacity: 1 << 16,
+            request_deadline: Duration::from_secs(5),
+            max_respawns: 3,
+            backoff_base: Duration::from_millis(1),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Validates the graph-independent knobs.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidConfig`] for zero workers, a zero prefetch
+    /// batch, a zero-capacity prefetch buffer, or a zero request deadline
+    /// — each would panic or silently hang deeper in the runtime.
+    pub fn validate(&self) -> Result<(), ClusterError> {
+        let reject = |message: &str| {
+            Err(ClusterError::InvalidConfig { message: message.to_string() })
+        };
+        if self.num_workers == 0 {
+            return reject("num_workers must be at least 1");
+        }
+        if self.prefetch_batch == 0 {
+            return reject("prefetch_batch must be at least 1");
+        }
+        if self.buffer_capacity == 0 {
+            return reject("buffer_capacity must be at least 1");
+        }
+        if self.request_deadline.is_zero() {
+            return reject("request_deadline must be non-zero");
+        }
+        Ok(())
     }
 }
 
@@ -61,6 +137,41 @@ pub struct IoStats {
     /// Workers respawned from lineage after a failure (§V: Spark's
     /// "automated fault tolerance").
     pub worker_restarts: u64,
+    /// Shards merged onto a survivor after a worker failed persistently
+    /// (graceful degradation past the respawn budget).
+    pub shards_rebalanced: u64,
+}
+
+impl IoStats {
+    /// Accumulates `other` into `self`, field by field.
+    ///
+    /// The exhaustive destructuring is deliberate: adding a field to
+    /// [`IoStats`] without extending this merge is a compile error, not a
+    /// silently dropped counter.
+    pub fn merge(&mut self, other: &IoStats) {
+        let IoStats {
+            fetch_batches,
+            nodes_fetched,
+            buffer_hits,
+            buffer_misses,
+            init_jobs,
+            worker_restarts,
+            shards_rebalanced,
+        } = *other;
+        self.fetch_batches += fetch_batches;
+        self.nodes_fetched += nodes_fetched;
+        self.buffer_hits += buffer_hits;
+        self.buffer_misses += buffer_misses;
+        self.init_jobs += init_jobs;
+        self.worker_restarts += worker_restarts;
+        self.shards_rebalanced += shards_rebalanced;
+    }
+}
+
+impl std::ops::AddAssign for IoStats {
+    fn add_assign(&mut self, other: IoStats) {
+        self.merge(&other);
+    }
 }
 
 enum Request {
@@ -76,14 +187,30 @@ enum Request {
     Shutdown,
 }
 
+/// Worker answers. Range-spanning responses carry the shard base so the
+/// master can place results even when a rebalance has merged shards since
+/// the request went out.
 enum Response {
     Nodes(Vec<(u32, NodeData)>),
     /// Gains for the owned range, in id order.
-    Gains(Vec<i64>),
+    Gains { base: u32, gains: Vec<i64> },
     /// `(friend_degree, rejections_received)` for the owned range.
-    Stats(Vec<(u32, u32)>),
+    Stats { base: u32, stats: Vec<(u32, u32)> },
     /// `(cross_friendships_counted_once, cross_rejections)`.
-    CutCounts(u64, u64),
+    CutCounts { base: u32, len: u32, friends: u64, rejections: u64 },
+}
+
+impl Response {
+    /// The contiguous `[base, end)` node span this response covers, when
+    /// the variant spans one (broadcast collection walks these spans).
+    fn span(&self) -> Option<(u32, u32)> {
+        match self {
+            Response::Nodes(_) => None,
+            Response::Gains { base, gains } => Some((*base, base + gains.len() as u32)),
+            Response::Stats { base, stats } => Some((*base, base + stats.len() as u32)),
+            Response::CutCounts { base, len, .. } => Some((*base, base + len)),
+        }
+    }
 }
 
 struct Worker {
@@ -91,21 +218,35 @@ struct Worker {
     rx: Receiver<Response>,
     handle: Option<JoinHandle<()>>,
     range: (u32, u32),
+    /// A request was sent (by the broadcast fan-out) and its response has
+    /// not been collected yet.
+    pending: bool,
 }
 
 /// A running worker pool holding the sharded augmented graph.
 ///
-/// The cluster keeps the source graph as its **lineage** (the RDD model):
-/// when a worker dies mid-query, the master detects the broken channel,
-/// respawns the shard from the lineage, replays the in-flight request,
-/// and counts the event in [`IoStats::worker_restarts`]. Failures are
-/// therefore invisible to the algorithm — the §V property inherited from
-/// Spark's fault tolerance.
+/// See the [module docs](self) for the failure model: respawn from
+/// lineage, then rebalance onto survivors, then a structured
+/// [`ClusterError`] — never a panic.
 pub struct Cluster {
-    graph: std::sync::Arc<AugmentedGraph>,
-    workers: std::cell::RefCell<Vec<Worker>>,
-    restarts: std::cell::Cell<u64>,
+    graph: Arc<AugmentedGraph>,
+    workers: RefCell<Vec<Worker>>,
+    restarts: Cell<u64>,
+    rebalances: Cell<u64>,
     num_nodes: usize,
+    /// Current per-request watchdog deadline (monotonically tightened).
+    watchdog: Cell<Duration>,
+    max_respawns: usize,
+    backoff_base: Duration,
+    /// Armed distributed fault schedules (empty by default).
+    faults: RefCell<ClusterFaults>,
+    /// 1-based fetch batch counter, the clock injected deaths key on.
+    fetch_seq: Cell<u64>,
+    /// Injected deaths left to fire (kill-before-send), armed by a
+    /// `worker_death@fetch=<n>[:x<m>]` schedule reaching its fetch.
+    pending_deaths: Cell<u32>,
+    /// Injected hangs left to fire (the next request is swallowed).
+    pending_hangs: Cell<u32>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -114,6 +255,7 @@ impl std::fmt::Debug for Cluster {
             .field("num_workers", &self.workers.borrow().len())
             .field("num_nodes", &self.num_nodes)
             .field("restarts", &self.restarts.get())
+            .field("rebalances", &self.rebalances.get())
             .finish()
     }
 }
@@ -143,7 +285,7 @@ impl Shard {
                         .iter()
                         .map(|n| (n.friends.len() as u32, n.rejectors_of.len() as u32))
                         .collect();
-                    let _ = tx.send(Response::Stats(out));
+                    let _ = tx.send(Response::Stats { base: self.base, stats: out });
                 }
                 Request::CutCounts { regions } => {
                     let mut cf = 0u64;
@@ -164,7 +306,12 @@ impl Shard {
                             }
                         }
                     }
-                    let _ = tx.send(Response::CutCounts(cf, cr));
+                    let _ = tx.send(Response::CutCounts {
+                        base: self.base,
+                        len: self.nodes.len() as u32,
+                        friends: cf,
+                        rejections: cr,
+                    });
                 }
                 Request::InitGains { regions, num, den } => {
                     let gains = self
@@ -177,7 +324,7 @@ impl Shard {
                             num * dr - den * df
                         })
                         .collect();
-                    let _ = tx.send(Response::Gains(gains));
+                    let _ = tx.send(Response::Gains { base: self.base, gains });
                 }
             }
         }
@@ -224,10 +371,15 @@ fn switch_delta(n: &NodeData, u: u32, regions: &[u8]) -> (i64, i64) {
     (df, dr)
 }
 
-fn spawn_worker(graph: &std::sync::Arc<AugmentedGraph>, lo: u32, hi: u32, wi: usize) -> Worker {
+fn spawn_worker(
+    graph: &Arc<AugmentedGraph>,
+    lo: u32,
+    hi: u32,
+    wi: usize,
+) -> Result<Worker, ClusterError> {
     let (req_tx, req_rx) = unbounded::<Request>();
     let (resp_tx, resp_rx) = unbounded::<Response>();
-    let lineage = std::sync::Arc::clone(graph);
+    let lineage = Arc::clone(graph);
     let handle = std::thread::Builder::new()
         .name(format!("rejecto-worker-{wi}"))
         .spawn(move || {
@@ -244,45 +396,78 @@ fn spawn_worker(graph: &std::sync::Arc<AugmentedGraph>, lo: u32, hi: u32, wi: us
                 .collect();
             Shard { base: lo, nodes }.serve(req_rx, resp_tx)
         })
-        .expect("failed to spawn worker thread");
-    Worker { tx: req_tx, rx: resp_rx, handle: Some(handle), range: (lo, hi) }
+        .map_err(|e| ClusterError::SpawnFailed { worker: wi, message: e.to_string() })?;
+    Ok(Worker { tx: req_tx, rx: resp_rx, handle: Some(handle), range: (lo, hi), pending: false })
+}
+
+/// Shuts a worker down and reclaims its thread. Channels are dropped
+/// *before* the join so a hung worker (blocked with no shutdown pending)
+/// observes its request channel closing and exits instead of deadlocking
+/// the master.
+fn reap(worker: Worker) {
+    let Worker { tx, rx, handle, .. } = worker;
+    let _ = tx.send(Request::Shutdown);
+    drop(tx);
+    drop(rx);
+    if let Some(h) = handle {
+        let _ = h.join();
+    }
 }
 
 impl Cluster {
     /// Shards `g` across `config.num_workers` worker threads. The graph is
     /// retained on the master as the recovery lineage.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `num_workers == 0`.
-    pub fn new(g: &AugmentedGraph, config: &ClusterConfig) -> Self {
-        Cluster::from_arc(std::sync::Arc::new(g.clone()), config)
+    /// [`ClusterError::InvalidConfig`] when the config fails
+    /// [`ClusterConfig::validate`] or asks for more workers (shards) than
+    /// the graph has nodes; [`ClusterError::SpawnFailed`] when the OS
+    /// refuses a worker thread.
+    pub fn new(g: &AugmentedGraph, config: &ClusterConfig) -> Result<Self, ClusterError> {
+        Cluster::from_arc(Arc::new(g.clone()), config)
     }
 
     /// Shards an already-shared graph (avoids the clone in
     /// [`Cluster::new`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `num_workers == 0`.
-    pub fn from_arc(graph: std::sync::Arc<AugmentedGraph>, config: &ClusterConfig) -> Self {
-        assert!(config.num_workers > 0, "need at least one worker");
+    /// As [`Cluster::new`].
+    pub fn from_arc(
+        graph: Arc<AugmentedGraph>,
+        config: &ClusterConfig,
+    ) -> Result<Self, ClusterError> {
+        config.validate()?;
         let n = graph.num_nodes();
-        let w = config.num_workers.min(n.max(1));
-        let chunk = n.div_ceil(w);
+        let w = config.num_workers;
+        if w > n.max(1) {
+            return Err(ClusterError::InvalidConfig {
+                message: format!("num_workers ({w}) exceeds the graph's {n} node(s)"),
+            });
+        }
+        // Balanced contiguous shards: every shard non-empty for n > 0.
         let workers = (0..w)
             .map(|wi| {
-                let lo = (wi * chunk).min(n) as u32;
-                let hi = ((wi + 1) * chunk).min(n) as u32;
+                let lo = (wi * n / w) as u32;
+                let hi = ((wi + 1) * n / w) as u32;
                 spawn_worker(&graph, lo, hi, wi)
             })
-            .collect();
-        Cluster {
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Cluster {
             graph,
-            workers: std::cell::RefCell::new(workers),
-            restarts: std::cell::Cell::new(0),
+            workers: RefCell::new(workers),
+            restarts: Cell::new(0),
+            rebalances: Cell::new(0),
             num_nodes: n,
-        }
+            watchdog: Cell::new(config.request_deadline),
+            max_respawns: config.max_respawns,
+            backoff_base: config.backoff_base,
+            faults: RefCell::new(ClusterFaults::default()),
+            fetch_seq: Cell::new(0),
+            pending_deaths: Cell::new(0),
+            pending_hangs: Cell::new(0),
+        })
     }
 
     /// Number of users the cluster holds.
@@ -290,7 +475,7 @@ impl Cluster {
         self.num_nodes
     }
 
-    /// Number of worker shards.
+    /// Number of worker shards (shrinks when shards are rebalanced).
     pub fn num_workers(&self) -> usize {
         self.workers.borrow().len()
     }
@@ -298,6 +483,37 @@ impl Cluster {
     /// Total workers respawned from lineage so far.
     pub fn worker_restarts(&self) -> u64 {
         self.restarts.get()
+    }
+
+    /// Total shards merged onto a survivor so far.
+    pub fn shards_rebalanced(&self) -> u64 {
+        self.rebalances.get()
+    }
+
+    /// Arms the distributed fault schedules of a plan on this cluster
+    /// (probes are free when the schedule is empty). Clones of one
+    /// [`ClusterFaults`] share consumption state, so a schedule armed on
+    /// successive per-round clusters still fires exactly once per run.
+    pub fn arm_faults(&self, faults: ClusterFaults) {
+        *self.faults.borrow_mut() = faults;
+    }
+
+    /// A shared handle to the armed fault schedules.
+    pub(crate) fn faults_handle(&self) -> ClusterFaults {
+        self.faults.borrow().clone()
+    }
+
+    /// Arms `n` injected hangs: each swallows one request so only the
+    /// watchdog can notice that no answer is coming.
+    pub(crate) fn arm_hang(&self, n: u32) {
+        self.pending_hangs.set(self.pending_hangs.get() + n);
+    }
+
+    /// Tightens the per-request watchdog (floored so a near-expired run
+    /// deadline cannot misdiagnose healthy workers as hung).
+    pub fn tighten_watchdog(&self, limit: Duration) {
+        let floored = limit.max(WATCHDOG_FLOOR);
+        self.watchdog.set(self.watchdog.get().min(floored));
     }
 
     /// Kills worker `wi` (test hook simulating a crash). The next request
@@ -316,93 +532,211 @@ impl Cluster {
     }
 
     fn owner(&self, id: u32) -> usize {
-        // Ranges are equal-sized except the last; binary search is robust
-        // to the final short shard.
+        // Shard ranges are sorted, disjoint, and contiguous — and stay so
+        // across rebalances (a dead shard merges into an adjacent one) —
+        // so binary search stays valid for the cluster's whole life.
         let workers = self.workers.borrow();
         workers
             .partition_point(|w| w.range.1 <= id)
             .min(workers.len() - 1)
     }
 
-    fn respawn(&self, wi: usize) {
-        let mut workers = self.workers.borrow_mut();
-        let (lo, hi) = workers[wi].range;
-        if let Some(h) = workers[wi].handle.take() {
-            let _ = h.join();
-        }
-        workers[wi] = spawn_worker(&self.graph, lo, hi, wi);
+    /// Replaces worker `wi` with a fresh spawn of the same shard range.
+    fn respawn(&self, wi: usize) -> Result<(), ClusterError> {
+        let old = {
+            let mut workers = self.workers.borrow_mut();
+            let (lo, hi) = workers[wi].range;
+            let fresh = spawn_worker(&self.graph, lo, hi, wi)?;
+            std::mem::replace(&mut workers[wi], fresh)
+        };
         self.restarts.set(self.restarts.get() + 1);
+        reap(old);
+        Ok(())
     }
 
-    /// Sends `req` to worker `wi` and awaits the response, recovering a
-    /// dead worker from lineage (retry once).
-    fn call(&self, wi: usize, make_req: &dyn Fn() -> Request, io: &mut IoStats) -> Response {
-        for attempt in 0..2 {
-            let result = {
-                let workers = self.workers.borrow();
-                let w = &workers[wi];
-                match w.tx.send(make_req()) {
-                    Err(_) => Err(()),
-                    Ok(()) => w.rx.recv().map_err(|_| ()),
+    /// Merges the persistently failing worker `wi`'s shard onto an
+    /// adjacent survivor and returns the index now owning the merged
+    /// range.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::WorkerLost`] when `wi` is the last worker.
+    fn rebalance(
+        &self,
+        wi: usize,
+        attempts: usize,
+        io: &mut IoStats,
+    ) -> Result<usize, ClusterError> {
+        let (dead, old) = {
+            let mut workers = self.workers.borrow_mut();
+            if workers.len() <= 1 {
+                return Err(ClusterError::WorkerLost { worker: wi, attempts });
+            }
+            // Merge left, except for the first shard which merges right;
+            // either way the union is contiguous and range order holds.
+            let neighbor = if wi > 0 { wi - 1 } else { wi + 1 };
+            let (lo, hi) = workers[wi].range;
+            let (nlo, nhi) = workers[neighbor].range;
+            let fresh =
+                spawn_worker(&self.graph, lo.min(nlo), hi.max(nhi), neighbor.min(wi))?;
+            let dead = workers.remove(wi);
+            let target = if wi > 0 { wi - 1 } else { 0 };
+            let old = std::mem::replace(&mut workers[target], fresh);
+            (dead, old)
+        };
+        self.rebalances.set(self.rebalances.get() + 1);
+        io.shards_rebalanced += 1;
+        reap(dead);
+        reap(old);
+        Ok(if wi > 0 { wi - 1 } else { 0 })
+    }
+
+    /// Sends `make_req` to worker `wi` and awaits the response through the
+    /// full recovery ladder: watchdog-bounded receive, bounded respawns
+    /// with deterministic backoff, then shard rebalancing.
+    fn exchange(
+        &self,
+        mut wi: usize,
+        make_req: &dyn Fn() -> Request,
+        io: &mut IoStats,
+    ) -> Result<Response, ClusterError> {
+        let mut attempt: usize = 0;
+        loop {
+            // Injected death: the target dies before it can see the
+            // request (and keeps dying on respawn while the schedule has
+            // deaths left).
+            if self.pending_deaths.get() > 0 {
+                self.pending_deaths.set(self.pending_deaths.get() - 1);
+                self.fail_worker(wi);
+            }
+            let hang = self.pending_hangs.get() > 0;
+            let outcome = {
+                let mut workers = self.workers.borrow_mut();
+                let w = &mut workers[wi];
+                let sent = if hang {
+                    // The request (or the in-flight response) is lost in
+                    // the simulated network; nothing will come back and
+                    // only the watchdog below can tell.
+                    self.pending_hangs.set(self.pending_hangs.get() - 1);
+                    if w.pending {
+                        let _ = w.rx.recv_timeout(self.watchdog.get());
+                        w.pending = false;
+                    }
+                    true
+                } else if w.pending {
+                    true
+                } else {
+                    match w.tx.send(make_req()) {
+                        Ok(()) => {
+                            w.pending = true;
+                            true
+                        }
+                        Err(_) => false,
+                    }
+                };
+                if sent && !hang {
+                    match w.rx.recv_timeout(self.watchdog.get()) {
+                        Ok(resp) => {
+                            w.pending = false;
+                            Some(resp)
+                        }
+                        Err(_) => None,
+                    }
+                } else if sent {
+                    // The swallowed request: wait the watchdog out.
+                    match w.rx.recv_timeout(self.watchdog.get()) {
+                        Ok(_) | Err(_) => None,
+                    }
+                } else {
+                    None
                 }
             };
-            match result {
-                Ok(resp) => return resp,
-                Err(()) => {
-                    assert!(attempt == 0, "worker {wi} failed twice in a row");
-                    self.respawn(wi);
-                    io.worker_restarts += 1;
+            if let Some(resp) = outcome {
+                return Ok(resp);
+            }
+            if attempt < self.max_respawns {
+                // Deterministic exponential backoff before the respawn.
+                let pause = self.backoff_base.saturating_mul(1u32 << attempt.min(16));
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
                 }
+                attempt += 1;
+                self.respawn(wi)?;
+                io.worker_restarts += 1;
+            } else {
+                wi = self.rebalance(wi, attempt, io)?;
+                attempt = 0;
             }
         }
-        unreachable!("retry loop returns or panics")
     }
 
-    /// Broadcasts a request to every worker and collects responses in
-    /// worker order, recovering failed workers from lineage.
+    /// Broadcasts a request to every worker and collects the responses in
+    /// shard order, recovering failed workers along the way.
     fn broadcast(
         &self,
         make_req: &dyn Fn() -> Request,
         io: &mut IoStats,
-    ) -> Vec<((u32, u32), Response)> {
-        let num = self.num_workers();
-        // Optimistic fan-out: send to all, then collect; failures fall
-        // back to the recovering per-worker call.
-        let sent: Vec<bool> = {
-            let workers = self.workers.borrow();
-            workers.iter().map(|w| w.tx.send(make_req()).is_ok()).collect()
-        };
-        let mut out = Vec::with_capacity(num);
-        for wi in 0..num {
-            let range = self.workers.borrow()[wi].range;
-            let resp = if sent[wi] {
-                let received = {
-                    let workers = self.workers.borrow();
-                    workers[wi].rx.recv()
-                };
-                match received {
-                    Ok(r) => r,
-                    Err(_) => {
-                        self.respawn(wi);
-                        io.worker_restarts += 1;
-                        self.call(wi, make_req, io)
-                    }
+    ) -> Result<Vec<Response>, ClusterError> {
+        // Optimistic fan-out: send to every live worker up front so the
+        // shards compute in parallel; failures fall back to the
+        // recovering exchange below.
+        {
+            let mut workers = self.workers.borrow_mut();
+            for w in workers.iter_mut() {
+                if !w.pending && w.range.0 < w.range.1 && w.tx.send(make_req()).is_ok() {
+                    w.pending = true;
                 }
-            } else {
-                self.respawn(wi);
-                io.worker_restarts += 1;
-                self.call(wi, make_req, io)
-            };
-            out.push((range, resp));
+            }
         }
-        out
+        // Collect by node-id coverage rather than worker index: if a
+        // mid-collection rebalance merges shards, the merged worker's
+        // recomputed response covers the union span. When that span starts
+        // before `next`, it supersedes already-collected responses (the
+        // merge absorbed a survivor's shard); those are discarded — the
+        // recomputation is deterministic over immutable lineage, so the
+        // superseding response is byte-identical on the overlap.
+        let n = self.num_nodes as u32;
+        let mut out: Vec<Response> = Vec::with_capacity(self.num_workers());
+        let mut next: u32 = 0;
+        while next < n {
+            let wi = self.owner(next);
+            let resp = self.exchange(wi, make_req, io)?;
+            match resp.span() {
+                Some((base, end)) if base <= next && end > next => {
+                    while out
+                        .last()
+                        .and_then(Response::span)
+                        .is_some_and(|(b, _)| b >= base)
+                    {
+                        out.pop();
+                    }
+                    out.push(resp);
+                    next = end;
+                }
+                _ => {
+                    return Err(ClusterError::ProtocolViolation {
+                        message: format!(
+                            "broadcast response from worker {wi} does not cover \
+                             nodes starting at {next}"
+                        ),
+                    })
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Fetches adjacency for `ids` (grouped by owner; one fan-out counts as
     /// one batch in the stats).
-    fn fetch(&self, ids: &[u32], io: &mut IoStats) -> Vec<(u32, NodeData)> {
+    fn fetch(&self, ids: &[u32], io: &mut IoStats) -> Result<Vec<(u32, NodeData)>, ClusterError> {
         if ids.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
+        }
+        // Injected death schedules are keyed on this 1-based fetch clock.
+        self.fetch_seq.set(self.fetch_seq.get() + 1);
+        let due = self.faults.borrow().deaths_at(self.fetch_seq.get());
+        if due > 0 {
+            self.pending_deaths.set(self.pending_deaths.get() + due);
         }
         let mut per_worker: Vec<Vec<u32>> = vec![Vec::new(); self.num_workers()];
         for &id in ids {
@@ -411,37 +745,50 @@ impl Cluster {
         io.fetch_batches += 1;
         io.nodes_fetched += ids.len() as u64;
         let mut out = Vec::with_capacity(ids.len());
-        for (wi, batch) in per_worker.into_iter().enumerate() {
-            if batch.is_empty() {
-                continue;
-            }
-            match self.call(wi, &|| Request::Fetch(batch.clone()), io) {
+        for batch in per_worker.into_iter().filter(|b| !b.is_empty()) {
+            // Re-resolve the owner per batch: a rebalance while serving an
+            // earlier batch shifts worker indices.
+            let wi = self.owner(batch[0]);
+            match self.exchange(wi, &|| Request::Fetch(batch.clone()), io)? {
                 Response::Nodes(nodes) => out.extend(nodes),
-                _ => unreachable!("protocol violation"),
+                _ => {
+                    return Err(ClusterError::ProtocolViolation {
+                        message: format!("worker {wi} answered a fetch with a non-Nodes response"),
+                    })
+                }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Parallel per-node `(friend_degree, rejections_received)`.
-    fn stats(&self, io: &mut IoStats) -> Vec<(u32, u32)> {
+    fn stats(&self, io: &mut IoStats) -> Result<Vec<(u32, u32)>, ClusterError> {
         io.init_jobs += 1;
         let mut out = vec![(0u32, 0u32); self.num_nodes];
-        for (range, resp) in self.broadcast(&|| Request::Stats, io) {
+        for resp in self.broadcast(&|| Request::Stats, io)? {
             match resp {
-                Response::Stats(s) => {
-                    for (i, v) in s.into_iter().enumerate() {
-                        out[range.0 as usize + i] = v;
+                Response::Stats { base, stats } => {
+                    for (i, v) in stats.into_iter().enumerate() {
+                        out[base as usize + i] = v;
                     }
                 }
-                _ => unreachable!("protocol violation"),
+                _ => {
+                    return Err(ClusterError::ProtocolViolation {
+                        message: "stats broadcast yielded a non-Stats response".to_string(),
+                    })
+                }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Parallel initial gains for all nodes under `regions`.
-    fn init_gains(&self, regions: &Arc<Vec<u8>>, k: KParam, io: &mut IoStats) -> Vec<i64> {
+    fn init_gains(
+        &self,
+        regions: &Arc<Vec<u8>>,
+        k: KParam,
+        io: &mut IoStats,
+    ) -> Result<Vec<i64>, ClusterError> {
         io.init_jobs += 1;
         let mut out = vec![0i64; self.num_nodes];
         let make = || Request::InitGains {
@@ -449,35 +796,48 @@ impl Cluster {
             num: k.num() as i64,
             den: k.den() as i64,
         };
-        for (range, resp) in self.broadcast(&make, io) {
+        for resp in self.broadcast(&make, io)? {
             match resp {
-                Response::Gains(g) => {
-                    for (i, v) in g.into_iter().enumerate() {
-                        out[range.0 as usize + i] = v;
+                Response::Gains { base, gains } => {
+                    for (i, v) in gains.into_iter().enumerate() {
+                        out[base as usize + i] = v;
                     }
                 }
-                _ => unreachable!("protocol violation"),
+                _ => {
+                    return Err(ClusterError::ProtocolViolation {
+                        message: "init-gains broadcast yielded a non-Gains response".to_string(),
+                    })
+                }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Parallel cross-cut counts under `regions`.
-    fn cut_counts(&self, regions: &Arc<Vec<u8>>, io: &mut IoStats) -> (u64, u64) {
+    fn cut_counts(
+        &self,
+        regions: &Arc<Vec<u8>>,
+        io: &mut IoStats,
+    ) -> Result<(u64, u64), ClusterError> {
         io.init_jobs += 1;
         let mut cf = 0u64;
         let mut cr = 0u64;
         let make = || Request::CutCounts { regions: Arc::clone(regions) };
-        for (_, resp) in self.broadcast(&make, io) {
+        for resp in self.broadcast(&make, io)? {
             match resp {
-                Response::CutCounts(f, r) => {
-                    cf += f;
-                    cr += r;
+                Response::CutCounts { friends, rejections, .. } => {
+                    cf += friends;
+                    cr += rejections;
                 }
-                _ => unreachable!("protocol violation"),
+                _ => {
+                    return Err(ClusterError::ProtocolViolation {
+                        message: "cut-counts broadcast yielded a non-CutCounts response"
+                            .to_string(),
+                    })
+                }
             }
         }
-        (cf, cr)
+        Ok((cf, cr))
     }
 }
 
@@ -505,10 +865,20 @@ pub struct DistributedOutcome {
     pub acceptance_rate: Option<f64>,
     /// The winning sweep `k`.
     pub k: Option<f64>,
+    /// The winning sweep `k` as the exact rational it was solved with.
+    pub k_exact: Option<KParam>,
     /// Simulated traffic counters.
     pub io: IoStats,
     /// Wall-clock time of the solve.
     pub elapsed: Duration,
+    /// Whether the sweep ran every `k` ([`Completion::Complete`]) or a
+    /// budget tripped mid-sweep; the half-finished `k` is rolled back and
+    /// the completed sweep indices are reported in the `Partial` payload.
+    pub completion: Completion,
+    /// Degraded-operation diagnostics surfaced through the run. Worker
+    /// respawns and shard rebalances are *not* failures (their replays are
+    /// byte-identical) — they are counted in [`IoStats`] instead.
+    pub failures: Vec<RuntimeError>,
 }
 
 /// Distributed MAAR solver: the same geometric-`k` sweep of extended KL as
@@ -527,48 +897,115 @@ impl DistributedMaar {
         DistributedMaar { cluster_config, rejecto }
     }
 
+    /// The cluster sizing this solver spawns with.
+    pub fn cluster_config(&self) -> &ClusterConfig {
+        &self.cluster_config
+    }
+
     /// Solves MAAR on `g` using a freshly spawned cluster.
-    pub fn solve(&self, g: &AugmentedGraph) -> DistributedOutcome {
-        let cluster = Cluster::new(g, &self.cluster_config);
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ClusterFailed`] when the cluster cannot be built or
+    /// loses every worker.
+    pub fn solve(&self, g: &AugmentedGraph) -> Result<DistributedOutcome, RuntimeError> {
+        let cluster = Cluster::new(g, &self.cluster_config)?;
         self.solve_on(&cluster, g.num_nodes())
     }
 
-    /// Solves MAAR against an existing cluster (graph already sharded).
-    pub fn solve_on(&self, cluster: &Cluster, num_nodes: usize) -> DistributedOutcome {
-        let out = self.solve_with_placement(cluster, num_nodes, self.rejecto.initial_placement);
+    /// Solves MAAR against an existing cluster (graph already sharded),
+    /// arming the configured budgets and fault plan for this one solve.
+    ///
+    /// # Errors
+    ///
+    /// As [`DistributedMaar::solve`].
+    pub fn solve_on(
+        &self,
+        cluster: &Cluster,
+        num_nodes: usize,
+    ) -> Result<DistributedOutcome, RuntimeError> {
+        let token = CancelToken::new();
+        if let Some(deadline) = self.rejecto.budget.deadline {
+            token.set_deadline_in(deadline);
+        }
+        if let Some(passes) = self.rejecto.budget.max_kl_passes {
+            token.set_pass_budget(passes);
+        }
+        let faults = ClusterFaults::new(&self.rejecto.faults);
+        if let Some(deadline) = faults.deadline() {
+            // The token keeps the tighter of the two deadlines.
+            token.set_deadline_in(deadline);
+        }
+        cluster.arm_faults(faults);
+        self.solve_monitored_on(cluster, num_nodes, &[], &[], &token)
+    }
+
+    /// The monitored solve the distributed detector drives round by round:
+    /// budgets arrive through a shared `token` (armed by the caller) and
+    /// fault schedules through the cluster. Seed ids are in the cluster's
+    /// (residual) id space.
+    pub(crate) fn solve_monitored_on(
+        &self,
+        cluster: &Cluster,
+        num_nodes: usize,
+        legit: &[NodeId],
+        spammer: &[NodeId],
+        token: &CancelToken,
+    ) -> Result<DistributedOutcome, RuntimeError> {
+        let out = self.solve_with_placement(
+            cluster,
+            num_nodes,
+            legit,
+            spammer,
+            self.rejecto.initial_placement,
+            token,
+        )?;
         if !out.suspects.is_empty()
+            || matches!(out.completion, Completion::Partial { .. })
             || self.rejecto.initial_placement == InitialPlacement::AllLegit
         {
-            return out;
+            return Ok(out);
         }
         // Same fallback as the single-process solver: if the warm start
         // steered every k past the admissible cut size, retry all-legit.
-        let mut retry = self.solve_with_placement(cluster, num_nodes, InitialPlacement::AllLegit);
-        retry.io.fetch_batches += out.io.fetch_batches;
-        retry.io.nodes_fetched += out.io.nodes_fetched;
-        retry.io.buffer_hits += out.io.buffer_hits;
-        retry.io.buffer_misses += out.io.buffer_misses;
-        retry.io.init_jobs += out.io.init_jobs;
+        let mut retry = self.solve_with_placement(
+            cluster,
+            num_nodes,
+            legit,
+            spammer,
+            InitialPlacement::AllLegit,
+            token,
+        )?;
+        retry.io.merge(&out.io);
         retry.elapsed += out.elapsed;
-        retry
+        let mut failures = out.failures;
+        failures.extend(std::mem::take(&mut retry.failures));
+        retry.failures = failures;
+        Ok(retry)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn solve_with_placement(
         &self,
         cluster: &Cluster,
         num_nodes: usize,
+        legit: &[NodeId],
+        spammer: &[NodeId],
         placement: InitialPlacement,
-    ) -> DistributedOutcome {
+        token: &CancelToken,
+    ) -> Result<DistributedOutcome, RuntimeError> {
         let start = Instant::now();
         let mut io = IoStats::default();
+        let faults = cluster.faults_handle();
 
         // Warm start needs per-node (degree, rejections) — an RDD job. As
         // in the single-process solver, the warm suspect set is capped at
-        // the admissible region size (highest rejection ratios first).
-        let stats = cluster.stats(&mut io);
+        // the admissible region size (highest rejection ratios first) and
+        // seeds override the placement afterwards.
+        let stats = cluster.stats(&mut io)?;
         let warm_cap =
             (self.rejecto.max_suspect_fraction * num_nodes as f64).floor() as usize;
-        let warm: Vec<u8> = match placement {
+        let mut warm: Vec<u8> = match placement {
             InitialPlacement::AllLegit => vec![LEGIT; num_nodes],
             InitialPlacement::RejectionRatio(t) => {
                 let mut candidates: Vec<(f64, usize)> = stats
@@ -592,6 +1029,17 @@ impl DistributedMaar {
             #[allow(unreachable_patterns)]
             _ => vec![LEGIT; num_nodes],
         };
+        // Seeds are pinned: pre-placed in their region and locked out of
+        // the bucket list so KL can never switch them (§IV-F).
+        let mut locked = vec![false; num_nodes];
+        for s in legit {
+            warm[s.index()] = LEGIT;
+            locked[s.index()] = true;
+        }
+        for s in spammer {
+            warm[s.index()] = SUSPECT;
+            locked[s.index()] = true;
+        }
         let gain_bound = {
             let mut b = 1i64;
             let max_num = (self.rejecto.k_max * self.rejecto.k_denominator as f64).ceil() as i64 + 1;
@@ -611,9 +1059,30 @@ impl DistributedMaar {
         // caches is k-independent ("we cache intermediate data sets and
         // results in memory, reducing the cost of their future reuse").
         let mut buffer: LruCache<NodeData> = LruCache::new(self.cluster_config.buffer_capacity);
-        for k in self.rejecto.k_sweep() {
-            let (regions, cf, cr) =
-                self.run_kl(cluster, num_nodes, &warm, k, gain_bound, &mut buffer, &mut io);
+        let mut completed: Vec<usize> = Vec::new();
+        let mut interrupted = false;
+        for (idx, k) in self.rejecto.k_sweep().into_iter().enumerate() {
+            if token.is_cancelled() {
+                interrupted = true;
+                break;
+            }
+            // Bound a potential hang by the remaining run budget, and arm
+            // any injected hang scheduled for this sweep index.
+            if let Some(remaining) = token.time_remaining() {
+                cluster.tighten_watchdog(remaining);
+            }
+            if faults.take_hang(idx) {
+                cluster.arm_hang(1);
+            }
+            let Some((regions, cf, cr)) =
+                self.run_kl(cluster, num_nodes, &warm, &locked, k, gain_bound, &mut buffer, token, &mut io)?
+            else {
+                // A budget tripped mid-k: the half-finished k is rolled
+                // back (its tentative regions are discarded wholesale).
+                interrupted = true;
+                break;
+            };
+            completed.push(idx);
             let suspects = regions.iter().filter(|&&r| r == SUSPECT).count();
             if suspects == 0 || suspects > cap || cf + cr == 0 {
                 continue;
@@ -624,8 +1093,20 @@ impl DistributedMaar {
             }
         }
 
+        let completion = if interrupted {
+            Completion::Partial {
+                completed_rounds: 0,
+                completed_k_indices: completed,
+                reason: interrupt_reason(token),
+            }
+        } else {
+            Completion::Complete
+        };
         let elapsed = start.elapsed();
-        match best {
+        // An interrupted sweep reports no cut, like the single-process
+        // solver: a partial sweep's best-so-far is not the MAAR cut.
+        let best = if interrupted { None } else { best };
+        Ok(match best {
             Some((regions, ac, k)) => DistributedOutcome {
                 suspects: regions
                     .iter()
@@ -635,44 +1116,58 @@ impl DistributedMaar {
                     .collect(),
                 acceptance_rate: Some(ac),
                 k: Some(k.value()),
+                k_exact: Some(k),
                 io,
                 elapsed,
+                completion,
+                failures: Vec::new(),
             },
             None => DistributedOutcome {
                 suspects: Vec::new(),
                 acceptance_rate: None,
                 k: None,
+                k_exact: None,
                 io,
                 elapsed,
+                completion,
+                failures: Vec::new(),
             },
-        }
+        })
     }
 
     /// One extended-KL optimization for a fixed `k` on the cluster.
-    /// Returns the final regions and cross-cut counts.
+    /// Returns the final regions and cross-cut counts, or `None` when the
+    /// run budget tripped at a pass boundary (the k is rolled back).
     #[allow(clippy::too_many_arguments)]
     fn run_kl(
         &self,
         cluster: &Cluster,
         num_nodes: usize,
         warm: &[u8],
+        locked: &[bool],
         k: KParam,
         gain_bound: i64,
         buffer: &mut LruCache<NodeData>,
+        token: &CancelToken,
         io: &mut IoStats,
-    ) -> (Vec<u8>, u64, u64) {
+    ) -> Result<Option<(Vec<u8>, u64, u64)>, RuntimeError> {
         let num = k.num() as i64;
         let den = k.den() as i64;
         let mut regions = Arc::new(warm.to_vec());
-        let (mut cf, mut cr) = cluster.cut_counts(&regions, io);
+        let (mut cf, mut cr) = cluster.cut_counts(&regions, io)?;
 
         for _pass in 0..self.rejecto.max_kl_passes {
+            if !token.consume_pass() {
+                return Ok(None);
+            }
             // Tentative state for this pass.
             let mut tmp: Vec<u8> = regions.as_ref().clone();
-            let gains = cluster.init_gains(&regions, k, io);
+            let gains = cluster.init_gains(&regions, k, io)?;
             let mut bucket = BucketList::new(num_nodes, -gain_bound, gain_bound);
             for (i, &g) in gains.iter().enumerate() {
-                bucket.insert(i as u32, g);
+                if !locked[i] {
+                    bucket.insert(i as u32, g);
+                }
             }
 
             let mut seq: Vec<(u32, i64, i64, i64)> = Vec::with_capacity(num_nodes);
@@ -683,7 +1178,7 @@ impl DistributedMaar {
                     top.iter().copied().filter(|id| !buffer.contains(id)).collect();
                 if !missing.is_empty() {
                     io.buffer_misses += missing.len() as u64;
-                    for (id, data) in cluster.fetch(&missing, io) {
+                    for (id, data) in cluster.fetch(&missing, io)? {
                         buffer.insert(id, data);
                     }
                 }
@@ -693,7 +1188,7 @@ impl DistributedMaar {
                         // Gain updates reorder the bucket between pops, so
                         // the max can fall outside the prefetched set.
                         io.buffer_misses += 1;
-                        let fetched = cluster.fetch(&[u], io);
+                        let fetched = cluster.fetch(&[u], io)?;
                         let d = fetched.into_iter().next().expect("owner must return node").1;
                         buffer.insert(u, d);
                     } else {
@@ -750,7 +1245,20 @@ impl DistributedMaar {
             }
             regions = Arc::new(committed);
         }
-        (Arc::try_unwrap(regions).unwrap_or_else(|a| a.as_ref().clone()), cf, cr)
+        Ok(Some((
+            Arc::try_unwrap(regions).unwrap_or_else(|a| a.as_ref().clone()),
+            cf,
+            cr,
+        )))
+    }
+}
+
+/// Maps the token's trip cause onto the report vocabulary.
+pub(crate) fn interrupt_reason(token: &CancelToken) -> InterruptReason {
+    match token.reason() {
+        Some(CancelReason::Deadline) => InterruptReason::Deadline,
+        Some(CancelReason::PassBudget) => InterruptReason::PassBudget,
+        _ => InterruptReason::Cancelled,
     }
 }
 
@@ -778,11 +1286,11 @@ mod tests {
     #[test]
     fn cluster_shards_cover_all_nodes() {
         let g = sim_graph();
-        let cluster = Cluster::new(&g, &ClusterConfig::default());
+        let cluster = Cluster::new(&g, &ClusterConfig::default()).expect("valid default config");
         assert_eq!(cluster.num_nodes(), 340);
         assert_eq!(cluster.num_workers(), 4);
         let mut io = IoStats::default();
-        let stats = cluster.stats(&mut io);
+        let stats = cluster.stats(&mut io).expect("healthy cluster serves stats");
         for u in g.nodes() {
             assert_eq!(stats[u.index()].0 as usize, g.friend_degree(u));
             assert_eq!(stats[u.index()].1 as usize, g.rejections_received(u));
@@ -792,10 +1300,10 @@ mod tests {
     #[test]
     fn fetch_returns_correct_adjacency() {
         let g = sim_graph();
-        let cluster = Cluster::new(&g, &ClusterConfig::default());
+        let cluster = Cluster::new(&g, &ClusterConfig::default()).expect("valid default config");
         let mut io = IoStats::default();
         let ids = [0u32, 150, 339];
-        let fetched = cluster.fetch(&ids, &mut io);
+        let fetched = cluster.fetch(&ids, &mut io).expect("healthy cluster serves fetches");
         assert_eq!(fetched.len(), 3);
         for (id, data) in fetched {
             let expect: Vec<u32> = g.friends(NodeId(id)).iter().map(|v| v.0).collect();
@@ -810,17 +1318,21 @@ mod tests {
         let g = sim_graph();
         let config = RejectoConfig::default();
         let local = MaarSolver::new(config.clone()).solve(&g, &[], &[]).expect("local cut");
-        let dist = DistributedMaar::new(ClusterConfig::default(), config).solve(&g);
+        let dist = DistributedMaar::new(ClusterConfig::default(), config)
+            .solve(&g)
+            .expect("distributed solve succeeds");
         assert_eq!(dist.suspects, local.suspects(), "partitions diverged");
         let ac = dist.acceptance_rate.expect("distributed cut");
         assert!((ac - local.acceptance_rate).abs() < 1e-12);
+        assert_eq!(dist.completion, Completion::Complete);
+        assert!(dist.failures.is_empty());
     }
 
     #[test]
     fn prefetching_served_most_lookups_from_buffer() {
         let g = sim_graph();
         let dist = DistributedMaar::new(ClusterConfig::default(), RejectoConfig::default());
-        let out = dist.solve(&g);
+        let out = dist.solve(&g).expect("distributed solve succeeds");
         assert!(out.io.buffer_hits > 0);
         // With batch prefetch, fetch round trips must be far fewer than
         // node lookups.
@@ -840,8 +1352,11 @@ mod tests {
             ClusterConfig { buffer_capacity: 8, prefetch_batch: 4, ..Default::default() },
             rejecto.clone(),
         )
-        .solve(&g);
-        let large = DistributedMaar::new(ClusterConfig::default(), rejecto).solve(&g);
+        .solve(&g)
+        .expect("distributed solve succeeds");
+        let large = DistributedMaar::new(ClusterConfig::default(), rejecto)
+            .solve(&g)
+            .expect("distributed solve succeeds");
         assert!(small.io.nodes_fetched > large.io.nodes_fetched);
         assert_eq!(small.suspects, large.suspects, "buffering must not change the cut");
     }
@@ -853,8 +1368,110 @@ mod tests {
             ClusterConfig { num_workers: 1, ..Default::default() },
             RejectoConfig::default(),
         )
-        .solve(&g);
+        .solve(&g)
+        .expect("distributed solve succeeds");
         assert!(!dist.suspects.is_empty());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_structurally() {
+        let g = sim_graph();
+        for (config, needle) in [
+            (ClusterConfig { num_workers: 0, ..Default::default() }, "num_workers"),
+            (ClusterConfig { prefetch_batch: 0, ..Default::default() }, "prefetch_batch"),
+            (ClusterConfig { buffer_capacity: 0, ..Default::default() }, "buffer_capacity"),
+            (
+                ClusterConfig { request_deadline: Duration::ZERO, ..Default::default() },
+                "request_deadline",
+            ),
+            (ClusterConfig { num_workers: 100_000, ..Default::default() }, "exceeds"),
+        ] {
+            match Cluster::new(&g, &config) {
+                Err(ClusterError::InvalidConfig { message }) => {
+                    assert!(message.contains(needle), "{needle} not in: {message}");
+                }
+                other => panic!("{needle}: expected InvalidConfig, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn iostats_merge_accumulates_every_field() {
+        // All-distinct values so a swapped or dropped field shows up.
+        let a = IoStats {
+            fetch_batches: 1,
+            nodes_fetched: 2,
+            buffer_hits: 3,
+            buffer_misses: 4,
+            init_jobs: 5,
+            worker_restarts: 6,
+            shards_rebalanced: 7,
+        };
+        let mut b = IoStats {
+            fetch_batches: 10,
+            nodes_fetched: 20,
+            buffer_hits: 30,
+            buffer_misses: 40,
+            init_jobs: 50,
+            worker_restarts: 60,
+            shards_rebalanced: 70,
+        };
+        b.merge(&a);
+        assert_eq!(
+            b,
+            IoStats {
+                fetch_batches: 11,
+                nodes_fetched: 22,
+                buffer_hits: 33,
+                buffer_misses: 44,
+                init_jobs: 55,
+                worker_restarts: 66,
+                shards_rebalanced: 77,
+            }
+        );
+        let mut c = IoStats::default();
+        c += a;
+        assert_eq!(c, a, "AddAssign must route through the same merge");
+    }
+
+    #[test]
+    fn all_legit_retry_path_keeps_every_io_counter() {
+        // A rejection-free graph has no cut under either placement, so the
+        // warm-started primary sweep finds nothing and the solver retries
+        // all-legit; the primary sweep's counters must survive the merge.
+        let mut b = rejection::AugmentedGraphBuilder::new(12);
+        for u in 0..12u32 {
+            for v in (u + 1)..12 {
+                b.add_friendship(NodeId(u), NodeId(v));
+            }
+        }
+        let g = b.build();
+        let single = DistributedMaar::new(
+            ClusterConfig::default(),
+            RejectoConfig {
+                initial_placement: InitialPlacement::AllLegit,
+                ..RejectoConfig::default()
+            },
+        )
+        .solve(&g)
+        .expect("distributed solve succeeds");
+
+        let cluster = Cluster::new(&g, &ClusterConfig::default()).expect("valid default config");
+        // Crash a worker so the *primary* sweep records a restart: a merge
+        // that drops a field (the original bug dropped worker_restarts)
+        // fails this test.
+        cluster.fail_worker(1);
+        let out = DistributedMaar::new(ClusterConfig::default(), RejectoConfig::default())
+            .solve_on(&cluster, g.num_nodes())
+            .expect("distributed solve succeeds");
+        assert!(out.suspects.is_empty(), "a rejection-free graph has no cut");
+        assert!(
+            out.io.worker_restarts >= 1,
+            "the restart from the primary sweep must not be dropped by the merge"
+        );
+        // On this graph the warm start degenerates to all-legit, so the
+        // merged counters must be exactly two single sweeps' worth.
+        assert_eq!(out.io.init_jobs, 2 * single.io.init_jobs);
     }
 }
 
@@ -863,7 +1480,7 @@ mod fault_tests {
     use super::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
-    use rejecto_core::{MaarSolver, RejectoConfig};
+    use rejecto_core::{FaultPlan, MaarSolver, RejectoConfig, RunBudget};
     use simulator::{Scenario, ScenarioConfig};
     use socialgraph::generators::BarabasiAlbert;
 
@@ -879,14 +1496,23 @@ mod fault_tests {
         .graph
     }
 
+    /// A config whose watchdog and backoff are tuned for fast tests.
+    fn snappy() -> ClusterConfig {
+        ClusterConfig {
+            request_deadline: Duration::from_millis(50),
+            backoff_base: Duration::ZERO,
+            ..ClusterConfig::default()
+        }
+    }
+
     #[test]
     fn killed_worker_is_respawned_transparently() {
         let g = sim_graph();
-        let cluster = Cluster::new(&g, &ClusterConfig::default());
+        let cluster = Cluster::new(&g, &ClusterConfig::default()).expect("valid default config");
         let mut io = IoStats::default();
-        let before = cluster.stats(&mut io);
+        let before = cluster.stats(&mut io).expect("healthy cluster serves stats");
         cluster.fail_worker(2);
-        let after = cluster.stats(&mut io);
+        let after = cluster.stats(&mut io).expect("crash is recovered");
         assert_eq!(before, after, "stats must survive a worker crash");
         assert_eq!(cluster.worker_restarts(), 1);
         assert_eq!(io.worker_restarts, 1);
@@ -895,11 +1521,11 @@ mod fault_tests {
     #[test]
     fn fetch_recovers_from_mid_run_failure() {
         let g = sim_graph();
-        let cluster = Cluster::new(&g, &ClusterConfig::default());
+        let cluster = Cluster::new(&g, &ClusterConfig::default()).expect("valid default config");
         let mut io = IoStats::default();
         cluster.fail_worker(0);
         cluster.fail_worker(3);
-        let fetched = cluster.fetch(&[0, 170, 339], &mut io);
+        let fetched = cluster.fetch(&[0, 170, 339], &mut io).expect("crashes are recovered");
         assert_eq!(fetched.len(), 3);
         for (id, data) in fetched {
             let expect: Vec<u32> = g.friends(NodeId(id)).iter().map(|v| v.0).collect();
@@ -912,14 +1538,15 @@ mod fault_tests {
     fn solve_result_is_identical_after_worker_crash() {
         let g = sim_graph();
         let config = RejectoConfig::default();
-        let local = MaarSolver::new(config.clone()).solve(&g, &[], &[]).expect("scenario admits a cut");
+        let local =
+            MaarSolver::new(config.clone()).solve(&g, &[], &[]).expect("scenario admits a cut");
 
-        let cluster = Cluster::new(&g, &ClusterConfig::default());
+        let cluster = Cluster::new(&g, &ClusterConfig::default()).expect("valid default config");
         // Crash two workers before the solve even starts.
         cluster.fail_worker(1);
         cluster.fail_worker(2);
         let dist = DistributedMaar::new(ClusterConfig::default(), config);
-        let out = dist.solve_on(&cluster, g.num_nodes());
+        let out = dist.solve_on(&cluster, g.num_nodes()).expect("crashes are recovered");
         assert_eq!(out.suspects, local.suspects(), "crash changed the cut");
         assert!(out.io.worker_restarts >= 2);
     }
@@ -927,13 +1554,139 @@ mod fault_tests {
     #[test]
     fn repeated_failures_of_same_worker_are_survivable() {
         let g = sim_graph();
-        let cluster = Cluster::new(&g, &ClusterConfig::default());
+        let cluster = Cluster::new(&g, &ClusterConfig::default()).expect("valid default config");
         let mut io = IoStats::default();
         for _ in 0..3 {
             cluster.fail_worker(1);
-            let s = cluster.stats(&mut io);
+            let s = cluster.stats(&mut io).expect("each crash is recovered");
             assert_eq!(s.len(), g.num_nodes());
         }
         assert_eq!(cluster.worker_restarts(), 3);
+    }
+
+    #[test]
+    fn injected_death_schedule_is_invisible_to_the_result() {
+        let g = sim_graph();
+        let clean = DistributedMaar::new(snappy(), RejectoConfig::default())
+            .solve(&g)
+            .expect("clean solve succeeds");
+        let faulted_config = RejectoConfig {
+            faults: FaultPlan::parse("worker_death@fetch=1,worker_death@fetch=4")
+                .expect("plan is well-formed"),
+            ..RejectoConfig::default()
+        };
+        let faulted = DistributedMaar::new(snappy(), faulted_config)
+            .solve(&g)
+            .expect("deaths are recovered");
+        assert_eq!(faulted.suspects, clean.suspects, "injected deaths changed the cut");
+        assert_eq!(faulted.acceptance_rate, clean.acceptance_rate);
+        assert!(faulted.io.worker_restarts >= 2, "both scheduled deaths must fire");
+        assert_eq!(faulted.completion, Completion::Complete);
+    }
+
+    #[test]
+    fn repeated_death_schedule_forces_a_rebalance() {
+        let g = sim_graph();
+        let clean = DistributedMaar::new(snappy(), RejectoConfig::default())
+            .solve(&g)
+            .expect("clean solve succeeds");
+        // One respawn allowed per request; five consecutive deaths burn
+        // through two whole budgets (2 × (1 try + 1 respawn)) and one more
+        // try, forcing two rebalances before the request finally lands.
+        let cluster_config = ClusterConfig { max_respawns: 1, ..snappy() };
+        let faulted_config = RejectoConfig {
+            faults: FaultPlan::parse("worker_death@fetch=2:x5").expect("plan is well-formed"),
+            ..RejectoConfig::default()
+        };
+        let faulted = DistributedMaar::new(cluster_config, faulted_config)
+            .solve(&g)
+            .expect("persistent deaths degrade to rebalancing, not failure");
+        assert_eq!(faulted.suspects, clean.suspects, "rebalancing changed the cut");
+        assert_eq!(faulted.acceptance_rate, clean.acceptance_rate);
+        assert_eq!(faulted.io.shards_rebalanced, 2, "five deaths at budget 1 = two merges");
+        assert!(faulted.io.worker_restarts >= 2);
+    }
+
+    #[test]
+    fn hung_worker_is_detected_by_the_watchdog() {
+        let g = sim_graph();
+        let clean = DistributedMaar::new(snappy(), RejectoConfig::default())
+            .solve(&g)
+            .expect("clean solve succeeds");
+        let faulted_config = RejectoConfig {
+            faults: FaultPlan::parse("worker_hang@k=2").expect("plan is well-formed"),
+            ..RejectoConfig::default()
+        };
+        let faulted = DistributedMaar::new(snappy(), faulted_config)
+            .solve(&g)
+            .expect("the hang is recovered");
+        assert_eq!(faulted.suspects, clean.suspects, "the hang changed the cut");
+        assert_eq!(faulted.acceptance_rate, clean.acceptance_rate);
+        assert!(faulted.io.worker_restarts >= 1, "the watchdog must respawn the hung worker");
+    }
+
+    #[test]
+    fn losing_every_worker_is_a_structured_error() {
+        let g = sim_graph();
+        let cluster_config = ClusterConfig { num_workers: 2, max_respawns: 0, ..snappy() };
+        // Enough deaths to chew through both workers at respawn budget 0.
+        let faulted_config = RejectoConfig {
+            faults: FaultPlan::parse("worker_death@fetch=1:x8").expect("plan is well-formed"),
+            ..RejectoConfig::default()
+        };
+        let err = DistributedMaar::new(cluster_config, faulted_config)
+            .solve(&g)
+            .expect_err("no survivor must be a structured failure");
+        match err {
+            RuntimeError::ClusterFailed { message } => {
+                assert!(message.contains("no survivor"), "unexpected message: {message}");
+            }
+            other => panic!("expected ClusterFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_deadline_yields_a_partial_outcome_with_rollback() {
+        let g = sim_graph();
+        let config = RejectoConfig {
+            budget: RunBudget { deadline: Some(Duration::ZERO), ..RunBudget::unlimited() },
+            ..RejectoConfig::default()
+        };
+        let out = DistributedMaar::new(ClusterConfig::default(), config)
+            .solve(&g)
+            .expect("a tripped budget degrades, not fails");
+        assert!(out.suspects.is_empty(), "an interrupted sweep reports no cut");
+        match out.completion {
+            Completion::Partial { completed_rounds, completed_k_indices, reason } => {
+                assert_eq!(completed_rounds, 0);
+                assert!(completed_k_indices.is_empty(), "nothing completed under a zero deadline");
+                assert_eq!(reason, InterruptReason::Deadline);
+            }
+            other => panic!("expected Partial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pass_budget_interrupts_the_sweep_midway() {
+        let g = sim_graph();
+        let config = RejectoConfig {
+            budget: RunBudget { max_kl_passes: Some(3), ..RunBudget::unlimited() },
+            ..RejectoConfig::default()
+        };
+        let sweep_len = config.k_sweep().len();
+        let out = DistributedMaar::new(ClusterConfig::default(), config)
+            .solve(&g)
+            .expect("a tripped budget degrades, not fails");
+        assert!(out.suspects.is_empty(), "an interrupted sweep reports no cut");
+        match out.completion {
+            Completion::Partial { completed_k_indices, reason, .. } => {
+                assert_eq!(reason, InterruptReason::PassBudget);
+                assert!(
+                    completed_k_indices.len() < sweep_len,
+                    "three global passes cannot complete a {sweep_len}-k sweep"
+                );
+            }
+            other => panic!("expected Partial, got {other:?}"),
+        }
     }
 }

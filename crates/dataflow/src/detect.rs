@@ -1,0 +1,367 @@
+//! Iterative detection on the distributed runtime (§IV-E on §V).
+//!
+//! [`DistributedDetector`] is the cluster-backed twin of
+//! `rejecto_core::IterativeDetector`: the same cut-and-prune loop, with
+//! every MAAR solve executed by [`DistributedMaar`] against a fresh
+//! per-round [`Cluster`] sharding the residual graph. Its statement order
+//! deliberately mirrors the single-process loop so that:
+//!
+//! * a run is **worker-count invariant** — the master's sweep is
+//!   sequential and placement-independent, so 1 worker and 16 workers
+//!   produce byte-identical reports;
+//! * a run under any injected fault plan that leaves a survivor is
+//!   byte-identical to the failure-free run (recovery replays requests
+//!   against immutable lineage);
+//! * a run resumed from a PR-4 checkpoint is byte-identical to the
+//!   uninterrupted run (same [`Checkpoint`] rebuild as the core
+//!   detector).
+//!
+//! Unlike the core detector, every entry point returns a `Result`: losing
+//! all workers is a [`RuntimeError::ClusterFailed`], not a panic.
+
+use crate::cluster::interrupt_reason;
+use crate::{Cluster, ClusterConfig, DistributedMaar, IoStats};
+use kl::CancelToken;
+use rejection::{AugmentedGraph, NodeId};
+use rejecto_core::checkpoint::Checkpoint;
+use rejecto_core::{
+    ClusterFaults, Completion, DetectedGroup, DetectionReport, InterruptReason, RejectoConfig,
+    RuntimeError, Seeds, Termination,
+};
+use std::io;
+use std::sync::Arc;
+
+/// A checkpoint consumer, as in the core detector: called after every
+/// completed pruning round; errors are recorded on the report as
+/// [`RuntimeError::CheckpointIo`] and never stop the detection.
+pub type CheckpointSink<'a> = &'a mut dyn FnMut(&Checkpoint) -> io::Result<()>;
+
+/// Mid-run loop state (report so far, residual graph, mapping back to
+/// original ids) — fresh or rebuilt from a [`Checkpoint`].
+struct LoopState {
+    report: DetectionReport,
+    current: AugmentedGraph,
+    to_original: Vec<NodeId>,
+}
+
+impl LoopState {
+    fn fresh(g: &AugmentedGraph) -> LoopState {
+        LoopState {
+            report: DetectionReport::default(),
+            current: g.clone(),
+            to_original: g.nodes().collect(),
+        }
+    }
+
+    /// Rebuilds the state the uninterrupted run had after the checkpointed
+    /// round (one induction over the survivor set composes with the run's
+    /// per-round inductions — same argument as the core detector).
+    fn from_checkpoint(g: &AugmentedGraph, ckpt: &Checkpoint) -> LoopState {
+        let mut keep = vec![false; g.num_nodes()];
+        for &u in &ckpt.remaining {
+            keep[u as usize] = true;
+        }
+        let (current, to_original) = g.induced_subgraph(&keep);
+        LoopState { report: ckpt.report(), current, to_original }
+    }
+}
+
+/// The iterative MAAR-cut detector running on the Spark-substitute
+/// cluster.
+#[derive(Debug, Clone)]
+pub struct DistributedDetector {
+    solver: DistributedMaar,
+    cluster_config: ClusterConfig,
+    config: RejectoConfig,
+}
+
+impl DistributedDetector {
+    /// Creates a detector; each pruning round spawns a cluster sized by
+    /// `cluster_config` (capped at the residual graph's node count as the
+    /// graph shrinks).
+    pub fn new(cluster_config: ClusterConfig, config: RejectoConfig) -> Self {
+        DistributedDetector {
+            solver: DistributedMaar::new(cluster_config, config.clone()),
+            cluster_config,
+            config,
+        }
+    }
+
+    /// Runs the full pipeline on `g`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ClusterFailed`] when the cluster configuration is
+    /// invalid or every worker is lost beyond recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any seed id is out of range of `g`.
+    pub fn detect(
+        &self,
+        g: &AugmentedGraph,
+        seeds: &Seeds,
+        termination: Termination,
+    ) -> Result<DetectionReport, RuntimeError> {
+        Ok(self.run_loop(g, seeds, termination, LoopState::fresh(g), None)?.0)
+    }
+
+    /// [`DistributedDetector::detect`], also returning the aggregate
+    /// traffic counters of the whole run. The counters live outside the
+    /// report on purpose: they vary with worker count and fault schedules
+    /// while the report must stay byte-identical across both.
+    ///
+    /// # Errors
+    ///
+    /// As [`DistributedDetector::detect`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any seed id is out of range of `g`.
+    pub fn detect_with_io(
+        &self,
+        g: &AugmentedGraph,
+        seeds: &Seeds,
+        termination: Termination,
+    ) -> Result<(DetectionReport, IoStats), RuntimeError> {
+        self.run_loop(g, seeds, termination, LoopState::fresh(g), None)
+    }
+
+    /// [`DistributedDetector::detect`], calling `sink` with a
+    /// [`Checkpoint`] after every completed pruning round.
+    ///
+    /// # Errors
+    ///
+    /// As [`DistributedDetector::detect`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any seed id is out of range of `g`.
+    pub fn detect_with_checkpoints(
+        &self,
+        g: &AugmentedGraph,
+        seeds: &Seeds,
+        termination: Termination,
+        sink: CheckpointSink<'_>,
+    ) -> Result<DetectionReport, RuntimeError> {
+        Ok(self.run_loop(g, seeds, termination, LoopState::fresh(g), Some(sink))?.0)
+    }
+
+    /// Continues a run from `checkpoint` exactly as if the original run
+    /// had never stopped. Checkpoints written by the single-process
+    /// detector resume distributed runs and vice versa — the format
+    /// records algorithm state, not deployment.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::CheckpointMismatch`] (and friends) when the
+    /// checkpoint does not describe `g`;
+    /// [`RuntimeError::ClusterFailed`] as in
+    /// [`DistributedDetector::detect`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any seed id is out of range of `g`.
+    pub fn resume(
+        &self,
+        g: &AugmentedGraph,
+        seeds: &Seeds,
+        termination: Termination,
+        checkpoint: &Checkpoint,
+    ) -> Result<DetectionReport, RuntimeError> {
+        checkpoint.validate_against(g)?;
+        Ok(self
+            .run_loop(g, seeds, termination, LoopState::from_checkpoint(g, checkpoint), None)?
+            .0)
+    }
+
+    /// [`DistributedDetector::resume`] with checkpointing of the continued
+    /// rounds.
+    ///
+    /// # Errors
+    ///
+    /// As [`DistributedDetector::resume`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any seed id is out of range of `g`.
+    pub fn resume_with_checkpoints(
+        &self,
+        g: &AugmentedGraph,
+        seeds: &Seeds,
+        termination: Termination,
+        checkpoint: &Checkpoint,
+        sink: CheckpointSink<'_>,
+    ) -> Result<DetectionReport, RuntimeError> {
+        checkpoint.validate_against(g)?;
+        Ok(self
+            .run_loop(
+                g,
+                seeds,
+                termination,
+                LoopState::from_checkpoint(g, checkpoint),
+                Some(sink),
+            )?
+            .0)
+    }
+
+    /// The pruning loop — the same statement order as the core detector's
+    /// `run_loop`, with the MAAR solve delegated to the cluster. Budgets
+    /// are armed once on a shared token; fault schedules are armed once
+    /// and shared across per-round clusters so each schedule fires exactly
+    /// once per run.
+    fn run_loop(
+        &self,
+        g: &AugmentedGraph,
+        seeds: &Seeds,
+        termination: Termination,
+        state: LoopState,
+        mut sink: Option<CheckpointSink<'_>>,
+    ) -> Result<(DetectionReport, IoStats), RuntimeError> {
+        let LoopState { mut report, mut current, mut to_original } = state;
+        let config = &self.config;
+        let max_rounds = config.max_rounds;
+
+        let budget = match termination {
+            Termination::SuspectBudget(b) => Some(b),
+            Termination::AcceptanceThreshold(_) => None,
+            Termination::BudgetOrThreshold { budget, .. } => Some(budget),
+            #[allow(unreachable_patterns)]
+            _ => None,
+        };
+        let threshold = match termination {
+            Termination::SuspectBudget(_) => None,
+            Termination::AcceptanceThreshold(t) => Some(t),
+            Termination::BudgetOrThreshold { threshold, .. } => Some(threshold),
+            #[allow(unreachable_patterns)]
+            _ => None,
+        };
+
+        let token = CancelToken::new();
+        let faults = ClusterFaults::new(&config.faults);
+        if let Some(deadline) = config.budget.deadline {
+            token.set_deadline_in(deadline);
+        }
+        if let Some(deadline) = faults.deadline() {
+            // The token keeps the tighter of the two deadlines.
+            token.set_deadline_in(deadline);
+        }
+        if let Some(passes) = config.budget.max_kl_passes {
+            token.set_pass_budget(passes);
+        }
+        let mut completion = Completion::Complete;
+        let mut total_io = IoStats::default();
+
+        while report.rounds < max_rounds {
+            if let Some(limit) = config.budget.max_rounds {
+                if report.rounds >= limit {
+                    completion = Completion::Partial {
+                        completed_rounds: report.rounds,
+                        completed_k_indices: Vec::new(),
+                        reason: InterruptReason::RoundBudget,
+                    };
+                    break;
+                }
+            }
+            if token.is_cancelled() {
+                completion = Completion::Partial {
+                    completed_rounds: report.rounds,
+                    completed_k_indices: Vec::new(),
+                    reason: interrupt_reason(&token),
+                };
+                break;
+            }
+            report.rounds += 1;
+            if let Some(b) = budget {
+                if report.num_suspects() >= b {
+                    break;
+                }
+            }
+
+            // Map seeds into residual-graph ids (pruned seeds drop out).
+            let mut current_index = vec![u32::MAX; g.num_nodes()];
+            for (i, &orig) in to_original.iter().enumerate() {
+                current_index[orig.index()] = i as u32;
+            }
+            let map = |ids: &[NodeId]| -> Vec<NodeId> {
+                ids.iter()
+                    .filter_map(|s| {
+                        let m = current_index[s.index()];
+                        (m != u32::MAX).then_some(NodeId(m))
+                    })
+                    .collect()
+            };
+            let legit = map(&seeds.legit);
+            let spammer = map(&seeds.spammer);
+
+            // A fresh cluster shards the residual graph each round — the
+            // distributed analogue of re-deriving the RDDs after a prune.
+            // Worker count is capped by the shrinking graph.
+            let round_config = ClusterConfig {
+                num_workers: self.cluster_config.num_workers.min(current.num_nodes().max(1)),
+                ..self.cluster_config
+            };
+            let cluster = Cluster::from_arc(Arc::new(current.clone()), &round_config)?;
+            cluster.arm_faults(faults.clone());
+            let outcome = self.solver.solve_monitored_on(
+                &cluster,
+                current.num_nodes(),
+                &legit,
+                &spammer,
+                &token,
+            )?;
+            total_io.merge(&outcome.io);
+            report.failures.extend(outcome.failures);
+            if let Completion::Partial { completed_k_indices, .. } = outcome.completion {
+                // The round did not finish; it does not count, and the
+                // sweep progress becomes the partial-report diagnostic.
+                report.rounds -= 1;
+                completion = Completion::Partial {
+                    completed_rounds: report.rounds,
+                    completed_k_indices,
+                    reason: interrupt_reason(&token),
+                };
+                break;
+            }
+            let (Some(ac), Some(k)) = (outcome.acceptance_rate, outcome.k_exact) else {
+                break;
+            };
+            if let Some(t) = threshold {
+                if ac > t {
+                    break;
+                }
+            }
+
+            let local = outcome.suspects;
+            let mut nodes: Vec<NodeId> = local.iter().map(|u| to_original[u.index()]).collect();
+            nodes.sort_unstable();
+            report.groups.push(DetectedGroup {
+                nodes,
+                acceptance_rate: ac,
+                k,
+                round: report.rounds,
+            });
+
+            // Prune the group with its links and rejections.
+            let mut keep = vec![true; current.num_nodes()];
+            for u in &local {
+                keep[u.index()] = false;
+            }
+            let (next, original_of_next) = current.induced_subgraph(&keep);
+            to_original = original_of_next.iter().map(|u| to_original[u.index()]).collect();
+            current = next;
+
+            if let Some(write) = sink.as_mut() {
+                let ckpt = Checkpoint::capture(g, &report);
+                if let Err(e) = write(&ckpt) {
+                    report.failures.push(RuntimeError::CheckpointIo {
+                        round: report.rounds,
+                        message: e.to_string(),
+                    });
+                }
+            }
+        }
+        report.completion = completion;
+        Ok((report, total_io))
+    }
+}

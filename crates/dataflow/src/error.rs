@@ -1,0 +1,100 @@
+//! Structured failures of the distributed runtime.
+//!
+//! The cluster's posture mirrors the single-process runtime (*degrade,
+//! don't abort*): a dead worker is respawned from lineage, a hung worker
+//! is detected by the per-request watchdog and respawned, a persistently
+//! failing worker has its shard rebalanced onto a survivor — and only
+//! when none of that can serve the request does a [`ClusterError`]
+//! surface. It converts into [`rejecto_core::RuntimeError::ClusterFailed`]
+//! so distributed outcomes flow through the same failure taxonomy as the
+//! rest of the pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// A structured failure of the distributed cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// [`crate::ClusterConfig`] validation failed at construction.
+    InvalidConfig {
+        /// Which knob was rejected and why.
+        message: String,
+    },
+    /// The OS refused to spawn a worker thread.
+    SpawnFailed {
+        /// Worker index that could not be (re)spawned.
+        worker: usize,
+        /// The underlying spawn error, rendered.
+        message: String,
+    },
+    /// A worker kept failing through the whole respawn budget and no
+    /// survivor was left to rebalance its shard onto.
+    WorkerLost {
+        /// Worker index (at the time of loss) that could not be recovered.
+        worker: usize,
+        /// Respawn attempts made before giving up.
+        attempts: usize,
+    },
+    /// A worker answered a request with the wrong response kind — a bug,
+    /// reported as data rather than a panic so a long-lived master
+    /// degrades instead of aborting.
+    ProtocolViolation {
+        /// What was expected and what arrived instead.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidConfig { message } => {
+                write!(f, "invalid cluster config: {message}")
+            }
+            ClusterError::SpawnFailed { worker, message } => {
+                write!(f, "could not spawn worker {worker}: {message}")
+            }
+            ClusterError::WorkerLost { worker, attempts } => write!(
+                f,
+                "worker {worker} lost after {attempts} respawn attempt(s) with no \
+                 survivor to rebalance onto"
+            ),
+            ClusterError::ProtocolViolation { message } => {
+                write!(f, "request/response protocol violated: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+impl From<ClusterError> for rejecto_core::RuntimeError {
+    fn from(e: ClusterError) -> Self {
+        rejecto_core::RuntimeError::ClusterFailed { message: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_position_context() {
+        let e = ClusterError::WorkerLost { worker: 3, attempts: 4 };
+        let s = e.to_string();
+        assert!(s.contains("worker 3"), "missing worker in: {s}");
+        assert!(s.contains("4 respawn"), "missing attempts in: {s}");
+    }
+
+    #[test]
+    fn converts_into_the_core_failure_taxonomy() {
+        let e = ClusterError::InvalidConfig { message: "zero workers".to_string() };
+        let rt: rejecto_core::RuntimeError = e.into();
+        match rt {
+            rejecto_core::RuntimeError::ClusterFailed { message } => {
+                assert!(message.contains("zero workers"), "{message}");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

@@ -20,13 +20,21 @@
 //!   graph shards, a master running the extended-KL sweep against them, and
 //!   [`IoStats`] counting simulated master↔worker traffic. The Table-II
 //!   harness measures wall time against graph size on this runtime.
+//! * [`DistributedDetector`] — the iterative cut-and-prune pipeline on the
+//!   cluster, with checkpoint/resume and a [`ClusterError`]-based failure
+//!   model (respawn from lineage, watchdog for hung workers, shard
+//!   rebalancing onto survivors) instead of panics.
 
 #![forbid(unsafe_code)]
 
 mod cluster;
+mod detect;
+mod error;
 mod lru;
 mod rdd;
 
 pub use cluster::{Cluster, ClusterConfig, DistributedMaar, DistributedOutcome, IoStats};
+pub use detect::{CheckpointSink, DistributedDetector};
+pub use error::ClusterError;
 pub use lru::LruCache;
 pub use rdd::Partitioned;

@@ -45,7 +45,9 @@ impl<V> LruCache<V> {
     ///
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "capacity must be positive");
+        // Constructor contract, unreachable from cluster paths: ClusterConfig
+        // validation rejects zero buffer capacities before a cache is built.
+        assert!(capacity > 0, "capacity must be positive"); // xtask-allow: no-panic
         LruCache {
             slots: Vec::with_capacity(capacity.min(4096)),
             index: HashMap::new(),

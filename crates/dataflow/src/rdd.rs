@@ -75,6 +75,11 @@ impl<T: Send + Sync> Partitioned<T> {
     }
 
     /// Applies `f` to each whole partition in parallel.
+    ///
+    /// A panicking partition task is retried serially on the driver from
+    /// the immutable input partition (lineage recompute) — a transient
+    /// panic costs one serial recomputation; a deterministic panic
+    /// resurfaces on the driver with its original payload.
     pub fn map_partitions<U, F>(&self, f: F) -> Partitioned<U>
     where
         U: Send + Sync,
@@ -83,7 +88,11 @@ impl<T: Send + Sync> Partitioned<T> {
         let parts: Vec<Vec<U>> = std::thread::scope(|scope| {
             let handles: Vec<_> =
                 self.parts.iter().map(|part| scope.spawn(|| f(part))).collect();
-            handles.into_iter().map(|h| h.join().expect("partition task panicked")).collect()
+            handles
+                .into_iter()
+                .zip(&self.parts)
+                .map(|(h, part)| h.join().unwrap_or_else(|_| f(part)))
+                .collect()
         });
         Partitioned { parts }
     }
@@ -91,6 +100,9 @@ impl<T: Send + Sync> Partitioned<T> {
     /// Two-level reduce: folds each partition with `fold` from `identity`,
     /// then combines the per-partition results with `combine` on the
     /// driver.
+    ///
+    /// Panicking partition tasks are recomputed serially on the driver,
+    /// as in [`Partitioned::map_partitions`].
     pub fn reduce<U, F, C>(&self, identity: U, fold: F, combine: C) -> U
     where
         U: Clone + Send + Sync,
@@ -107,7 +119,14 @@ impl<T: Send + Sync> Partitioned<T> {
                     scope.spawn(move || part.iter().fold(identity, fold))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("partition task panicked")).collect()
+            handles
+                .into_iter()
+                .zip(&self.parts)
+                .map(|(h, part)| {
+                    h.join()
+                        .unwrap_or_else(|_| part.iter().fold(identity.clone(), &fold))
+                })
+                .collect()
         });
         partials.into_iter().fold(identity, combine)
     }
@@ -172,5 +191,39 @@ mod tests {
     #[should_panic(expected = "at least one partition")]
     fn rejects_zero_partitions() {
         let _ = Partitioned::from_vec(vec![1], 0);
+    }
+
+    #[test]
+    fn transient_map_panic_is_recomputed_from_lineage() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let d = Partitioned::from_vec((0..40).collect::<Vec<i32>>(), 4);
+        let tripped = AtomicBool::new(false);
+        // The first task to run panics once; its partition must be
+        // recomputed on the driver and the result stay exact.
+        let out = d.map_partitions(|part| {
+            if !tripped.swap(true, Ordering::SeqCst) {
+                panic!("injected transient partition panic");
+            }
+            part.iter().map(|x| x * 2).collect()
+        });
+        assert_eq!(out.collect(), (0..40).map(|x| x * 2).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn transient_reduce_panic_is_recomputed_from_lineage() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let d = Partitioned::from_vec((1..=100).collect::<Vec<i64>>(), 5);
+        let tripped = AtomicBool::new(false);
+        let sum = d.reduce(
+            0i64,
+            |a, b| {
+                if !tripped.swap(true, Ordering::SeqCst) {
+                    panic!("injected transient fold panic");
+                }
+                a + *b
+            },
+            |a, b| a + b,
+        );
+        assert_eq!(sum, 5050);
     }
 }

@@ -151,6 +151,19 @@ impl CancelToken {
         false
     }
 
+    /// Time left until the armed deadline: `None` when no deadline is
+    /// armed, `Duration::ZERO` once it has passed. Lets callers that block
+    /// on external events (e.g. a master waiting on a worker response)
+    /// bound their wait so a hang can never outlive the run budget.
+    pub fn time_remaining(&self) -> Option<Duration> {
+        let deadline = *self
+            .inner
+            .deadline
+            .lock()
+            .expect("cancel-token deadline mutex poisoned");
+        deadline.map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
     /// The first recorded trip cause, or `None` while untripped.
     pub fn reason(&self) -> Option<CancelReason> {
         match self.inner.reason.load(Ordering::Acquire) {
@@ -217,6 +230,17 @@ mod tests {
         t.set_deadline_in(Duration::from_secs(3600));
         t.set_deadline_in(Duration::from_millis(0));
         assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn time_remaining_tracks_the_armed_deadline() {
+        let t = CancelToken::new();
+        assert_eq!(t.time_remaining(), None, "no deadline armed yet");
+        t.set_deadline_in(Duration::from_secs(3600));
+        let rem = t.time_remaining().expect("deadline was just armed");
+        assert!(rem > Duration::from_secs(3500), "remaining {rem:?}");
+        t.set_deadline_in(Duration::from_millis(0));
+        assert_eq!(t.time_remaining(), Some(Duration::ZERO), "passed deadline saturates");
     }
 
     #[test]

@@ -17,13 +17,16 @@
 //! unseeded randomness even when the OS would happily hand both CLI runs
 //! the same ASLR layout.
 
+use dataflow::{ClusterConfig, DistributedDetector};
 use rejecto_core::{
-    Checkpoint, Completion, DetectionReport, IterativeDetector, RejectoConfig, Seeds, Termination,
+    Checkpoint, Completion, DetectionReport, FaultPlan, IterativeDetector, RejectoConfig, Seeds,
+    Termination,
 };
 use rejection::io::write_augmented;
 use simulator::{Scenario, ScenarioConfig, SimOutput};
 use socialgraph::surrogates::Surrogate;
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// Scaled-down copy of the CLI's default simulate flow: Facebook surrogate
 /// at 2% scale, 60 fakes — large enough to exercise every pipeline stage
@@ -156,15 +159,133 @@ pub fn run() -> Result<String, String> {
         kill_and_resume(&sim1, threads, &rt)?;
     }
 
+    distributed_legs(&sim1)?;
+
     Ok(format!(
         "determinism: OK — {} nodes, {} graph bytes, {} detection rounds, \
          both runs byte-identical; k-sweep artifacts identical at \
          threads=1/4/auto; kill-and-resume byte-identical at threads=1/4 \
-         (seed {SEED})",
+         (seed {SEED}); distributed reports byte-identical at workers=1/4 \
+         incl. under an injected fault plan and through kill-and-resume",
         sim1.graph.num_nodes(),
         bytes1.len(),
         r1.rounds
     ))
+}
+
+/// The worker counts the distributed legs exercise: the degenerate
+/// single-shard layout vs a real multi-shard cluster.
+const WORKER_COUNTS: [usize; 2] = [1, 4];
+
+/// A cluster shape that keeps fault recovery fast in-harness: a tight
+/// watchdog deadline and no respawn backoff. Correctness must not depend
+/// on either knob — only wall time does.
+fn snappy_cluster(workers: usize) -> ClusterConfig {
+    ClusterConfig {
+        num_workers: workers,
+        request_deadline: Duration::from_millis(50),
+        backoff_base: Duration::ZERO,
+        ..ClusterConfig::default()
+    }
+}
+
+fn detect_distributed(
+    sim: &SimOutput,
+    workers: usize,
+    config: RejectoConfig,
+) -> Result<DetectionReport, String> {
+    DistributedDetector::new(snappy_cluster(workers), config)
+        .detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES))
+        .map_err(|e| format!("distributed detect failed at workers={workers}: {e}"))
+}
+
+/// Distributed determinism: the report must be byte-invariant to (a) the
+/// worker count, (b) any injected fault plan that leaves a survivor, and
+/// (c) a kill-and-resume through the checkpoint wire format. All three
+/// diffs use the same canonical rendering as the single-process legs.
+fn distributed_legs(sim: &SimOutput) -> Result<(), String> {
+    let baseline = render_report(&detect_distributed(sim, WORKER_COUNTS[0], RejectoConfig::default())?);
+
+    for workers in WORKER_COUNTS {
+        let rt = render_report(&detect_distributed(sim, workers, RejectoConfig::default())?);
+        if rt != baseline {
+            return Err(format!(
+                "distributed sweep is worker-count dependent: workers={workers} \
+                 report differs from workers={} \n--- workers={workers} ---\n{rt}\
+                 --- baseline ---\n{baseline}",
+                WORKER_COUNTS[0]
+            ));
+        }
+
+        // Injected worker deaths (including a repeated-death schedule) and
+        // a hung worker must be absorbed by respawn/rebalance without a
+        // trace in the report.
+        let faulted = RejectoConfig {
+            faults: FaultPlan::parse(
+                "worker_death@fetch=3,worker_death@fetch=9:x2,worker_hang@k=2",
+            )
+            .map_err(|e| format!("fault spec rejected: {e}"))?,
+            ..RejectoConfig::default()
+        };
+        let rf = render_report(&detect_distributed(sim, workers, faulted)?);
+        if rf != baseline {
+            return Err(format!(
+                "fault recovery leaked into the artifacts at workers={workers}: \
+                 the faulted report differs from the failure-free report\n\
+                 --- faulted ---\n{rf}--- failure-free ---\n{baseline}"
+            ));
+        }
+
+        distributed_kill_and_resume(sim, workers, &baseline)?;
+    }
+    Ok(())
+}
+
+/// The distributed twin of [`kill_and_resume`]: halt after one pruning
+/// round via the deterministic round budget, round-trip the checkpoint
+/// through JSON, resume on a fresh cluster, and demand byte-identity with
+/// the uninterrupted distributed run.
+fn distributed_kill_and_resume(
+    sim: &SimOutput,
+    workers: usize,
+    full_render: &str,
+) -> Result<(), String> {
+    let mut config = RejectoConfig::default();
+    config.budget.max_rounds = Some(1);
+    let halted = detect_distributed(sim, workers, config)?;
+    if !halted.is_partial() {
+        return Err(format!(
+            "distributed kill-and-resume fixture degenerated: the \
+             max_rounds=1 run at workers={workers} completed in one round, \
+             so the resume path went unexercised; grow the scenario"
+        ));
+    }
+
+    let json = Checkpoint::capture(&sim.graph, &halted).to_json();
+    let restored = Checkpoint::from_json(&json).map_err(|e| {
+        format!("distributed checkpoint JSON round-trip failed at workers={workers}: {e}")
+    })?;
+    let resumed = DistributedDetector::new(snappy_cluster(workers), RejectoConfig::default())
+        .resume(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES), &restored)
+        .map_err(|e| {
+            format!("distributed resume rejected its own checkpoint at workers={workers}: {e}")
+        })?;
+    let rr = render_report(&resumed);
+    if rr != full_render {
+        let diff_line = rr
+            .lines()
+            .zip(full_render.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        return Err(format!(
+            "distributed kill-and-resume diverged at workers={workers}: \
+             resumed report differs from the uninterrupted run (first \
+             differing line {diff_line})\n--- resumed ---\n{rr}\
+             --- uninterrupted ---\n{full_render}"
+        ));
+    }
+    Ok(())
 }
 
 /// Kill-and-resume check: interrupt the run after one pruning round (the

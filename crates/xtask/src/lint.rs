@@ -28,7 +28,11 @@
 //!    `unreachable!` is allowed only with a message long enough to state
 //!    *why* the arm is impossible (same bar as `.expect`). Deliberate
 //!    panics (the fault-injection trigger, invariant checkers) opt out
-//!    with the pragma or live in exempt modules.
+//!    with the pragma or live in exempt modules. The [`NO_ASSERT_CRATES`]
+//!    additionally ban `assert!` outright in runtime paths
+//!    (`debug_assert!` stays allowed — it vanishes in release builds):
+//!    the distributed runtime's whole contract is *degrade, don't abort*,
+//!    and a release-mode assert is an abort.
 //! 6. **no-ad-hoc-threads** — thread spawning is confined to the
 //!    designated pool/cluster modules ([`THREAD_POOL_MODULES`]). Ad-hoc
 //!    concurrency is where nondeterminism sneaks in: a completion-order
@@ -60,6 +64,13 @@ pub const NO_UNWRAP_CRATES: &[&str] = &[
 
 /// Crates whose kernels must stay free of hash collections entirely.
 pub const NO_HASH_CRATES: &[&str] = &["socialgraph", "kl", "core"];
+
+/// Crates whose runtime paths may not use `assert!` at all (**no-panic**):
+/// the distributed runtime must degrade through the `ClusterError` /
+/// `RuntimeError` taxonomy, never abort. `debug_assert!` is exempt; the
+/// `debug-invariants` feature and the invariants modules carry the
+/// release-strength checks.
+pub const NO_ASSERT_CRATES: &[&str] = &["dataflow"];
 
 /// Crates exempt from **no-unseeded-rng**: `bench` measures wall-clock
 /// behavior and may randomize; `xtask` holds this linter's own fixtures.
@@ -250,6 +261,27 @@ fn string_literal_arg(rest: &str) -> Option<&str> {
     Some(&body[..end])
 }
 
+/// Whether the line invokes `assert!` proper: an `assert!(` occurrence
+/// whose preceding character is not part of an identifier, which excludes
+/// `debug_assert!(` (and cannot match `assert_eq!`/`assert_ne!`, which do
+/// not contain the `assert!(` token at all).
+fn contains_bare_assert(stripped_line: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = stripped_line[start..].find("assert!(") {
+        let idx = start + pos;
+        let preceded_by_ident = idx > 0
+            && stripped_line[..idx]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if !preceded_by_ident {
+            return true;
+        }
+        start = idx + "assert!(".len();
+    }
+    false
+}
+
 /// The 0-based line of the first `#[cfg(test)]` *module* (the attribute
 /// followed by a `mod` item), after which the **no-panic** rule stops:
 /// tests panic on purpose. A `#[cfg(test)]` on a lone helper method does
@@ -289,6 +321,7 @@ pub fn lint_file(f: &SourceFile) -> Vec<Violation> {
     let panic_banned = unwrap_banned
         && f.rel_path.contains("/src/")
         && !f.rel_path.contains("invariants");
+    let assert_banned = panic_banned && NO_ASSERT_CRATES.contains(&f.crate_name);
     let test_start = if panic_banned { test_module_start(&stripped) } else { 0 };
 
     for (lineno0, line) in stripped.lines().enumerate() {
@@ -359,6 +392,17 @@ pub fn lint_file(f: &SourceFile) -> Vec<Violation> {
                         ),
                     });
                 }
+            }
+            if assert_banned && contains_bare_assert(line) {
+                out.push(Violation {
+                    file: f.rel_path.to_string(),
+                    line: line_no,
+                    rule: "no-panic",
+                    message: "`assert!` aborts release builds; the distributed \
+                              runtime must degrade through ClusterError (use \
+                              `debug_assert!` for invariants)"
+                        .to_string(),
+                });
             }
         }
         if rng_banned && line.contains("thread_rng") && !allowed(raw, "no-unseeded-rng") {
@@ -612,6 +656,39 @@ mod tests {
 
         let computed = "fn f() { unreachable!(\"state {s:?} impossible\") }\n";
         assert!(lint_file(&file("dataflow", computed)).is_empty());
+    }
+
+    #[test]
+    fn assert_in_no_assert_crate_is_flagged() {
+        let src = "fn f(n: usize) { assert!(n > 0, \"n must be positive\"); }\n";
+        let v = lint_file(&file("dataflow", src));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-panic");
+        assert!(v[0].message.contains("degrade"));
+    }
+
+    #[test]
+    fn debug_assert_in_no_assert_crate_passes() {
+        let src = "fn f(n: usize) { debug_assert!(n > 0); }\n";
+        assert!(lint_file(&file("dataflow", src)).is_empty());
+    }
+
+    #[test]
+    fn assert_outside_no_assert_crates_passes() {
+        let src = "fn f(n: usize) { assert!(n > 0, \"n must be positive\"); }\n";
+        assert!(lint_file(&file("core", src)).is_empty());
+    }
+
+    #[test]
+    fn assert_with_pragma_is_allowed() {
+        let src = "assert!(cap > 0, \"capacity\"); // xtask-allow: no-panic\n";
+        assert!(lint_file(&file("dataflow", src)).is_empty());
+    }
+
+    #[test]
+    fn assert_below_the_test_module_passes() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { assert!(true); }\n}\n";
+        assert!(lint_file(&file("dataflow", src)).is_empty());
     }
 
     #[test]

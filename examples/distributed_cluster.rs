@@ -41,7 +41,9 @@ fn main() {
 
     for workers in [1, 2, 4, 8] {
         let cluster = ClusterConfig { num_workers: workers, ..ClusterConfig::default() };
-        let out = DistributedMaar::new(cluster, rejecto.clone()).solve(&sim.graph);
+        let out = DistributedMaar::new(cluster, rejecto.clone())
+            .solve(&sim.graph)
+            .expect("healthy cluster must solve");
         assert_eq!(out.suspects, local.suspects(), "distributed cut must match");
         println!(
             "{workers} worker(s): same cut in {:?} — {} fetch batches, {} nodes shipped, {} buffer hits",

@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 use super::args::{ArgError, Args};
+use dataflow::{ClusterConfig, DistributedDetector};
 use rejecto_core::{
     Checkpoint, Completion, DetectionReport, FaultPlan, InterruptReason, IterativeDetector,
     RejectoConfig, Seeds, Termination,
@@ -228,6 +229,31 @@ fn run_detector(
     }
 }
 
+/// The distributed twin of [`run_detector`]: the same four modes on the
+/// cluster runtime. Checkpoints are interchangeable between the two — the
+/// wire format records algorithm state, not deployment.
+fn run_distributed_detector(
+    detector: &DistributedDetector,
+    g: &AugmentedGraph,
+    seeds: &Seeds,
+    termination: Termination,
+    resume_from: Option<&Checkpoint>,
+    checkpoint_path: Option<&str>,
+) -> Result<DetectionReport, CliError> {
+    let mut sink = |ckpt: &Checkpoint| -> std::io::Result<()> {
+        let path = checkpoint_path.expect("sink only installed when a path was given");
+        std::fs::write(path, format!("{}\n", ckpt.to_json()))
+    };
+    match (resume_from, checkpoint_path.is_some()) {
+        (None, false) => Ok(detector.detect(g, seeds, termination)?),
+        (None, true) => Ok(detector.detect_with_checkpoints(g, seeds, termination, &mut sink)?),
+        (Some(c), false) => Ok(detector.resume(g, seeds, termination, c)?),
+        (Some(c), true) => {
+            Ok(detector.resume_with_checkpoints(g, seeds, termination, c, &mut sink)?)
+        }
+    }
+}
+
 fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
     let graph_path = args.require("graph")?;
     let budget: Option<usize> = args.get_opt("budget")?;
@@ -242,7 +268,16 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
     let checkpoint_path = args.get("checkpoint");
     let resume_path = args.get("resume");
     let inject_spec = args.get("inject");
+    let distributed: bool = args.get_or("distributed", false)?;
+    let workers: Option<usize> = args.get_opt("workers")?;
+    let request_deadline_ms: Option<u64> = args.get_opt("request-deadline-ms")?;
     args.finish()?;
+
+    if !distributed && (workers.is_some() || request_deadline_ms.is_some()) {
+        return Err(CliError(
+            "--workers and --request-deadline-ms require --distributed true".to_string(),
+        ));
+    }
 
     let (g, load_stats) = load_augmented(&graph_path, lenient)?;
     if load_stats.is_degraded() {
@@ -292,15 +327,34 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
         }
         None => None,
     };
-    let detector = IterativeDetector::new(config);
-    let report = run_detector(
-        &detector,
-        &g,
-        &Seeds::default(),
-        termination,
-        resume_from.as_ref(),
-        checkpoint_path.as_deref(),
-    )?;
+    let report = if distributed {
+        let mut cluster = ClusterConfig::default();
+        if let Some(w) = workers {
+            cluster.num_workers = w;
+        }
+        if let Some(ms) = request_deadline_ms {
+            cluster.request_deadline = Duration::from_millis(ms);
+        }
+        let detector = DistributedDetector::new(cluster, config);
+        run_distributed_detector(
+            &detector,
+            &g,
+            &Seeds::default(),
+            termination,
+            resume_from.as_ref(),
+            checkpoint_path.as_deref(),
+        )?
+    } else {
+        let detector = IterativeDetector::new(config);
+        run_detector(
+            &detector,
+            &g,
+            &Seeds::default(),
+            termination,
+            resume_from.as_ref(),
+            checkpoint_path.as_deref(),
+        )?
+    };
 
     if json {
         for group in &report.groups {
@@ -775,6 +829,93 @@ mod tests {
         )
         .unwrap();
         assert!(degraded.contains("degraded:"), "{degraded}");
+    }
+
+    #[test]
+    fn detect_distributed_matches_local_cut_across_worker_counts() {
+        let dir = tmpdir();
+        let stem = dir.join("dist");
+        let stem_s = stem.to_str().unwrap();
+        run_to_string("simulate", &["--out", stem_s, "--scale", "0.03", "--fakes", "40"]).unwrap();
+        let graph = format!("{stem_s}.rjg");
+        let run_with = |extra: &[&str]| {
+            let mut argv = vec!["--graph", &graph, "--budget", "40", "--json", "true"];
+            argv.extend_from_slice(extra);
+            run_to_string("detect", &argv).unwrap()
+        };
+        let one = run_with(&["--distributed", "true", "--workers", "1"]);
+        assert!(!one.is_empty(), "distributed run emitted nothing");
+        let four = run_with(&["--distributed", "true", "--workers", "4"]);
+        assert_eq!(one, four, "worker count changed the distributed output");
+    }
+
+    #[test]
+    fn detect_distributed_fault_injection_is_invisible() {
+        let dir = tmpdir();
+        let stem = dir.join("dist-fault");
+        let stem_s = stem.to_str().unwrap();
+        run_to_string("simulate", &["--out", stem_s, "--scale", "0.03", "--fakes", "40"]).unwrap();
+        let graph = format!("{stem_s}.rjg");
+        let clean = run_to_string(
+            "detect",
+            &["--graph", &graph, "--budget", "40", "--distributed", "true", "--workers", "3"],
+        )
+        .unwrap();
+        let faulted = run_to_string(
+            "detect",
+            &[
+                "--graph", &graph, "--budget", "40", "--distributed", "true", "--workers", "3",
+                "--request-deadline-ms", "200",
+                "--inject", "worker_death@fetch=2,worker_death@fetch=5:x2,worker_hang@k=1",
+            ],
+        )
+        .unwrap();
+        assert_eq!(clean, faulted, "fault recovery leaked into the CLI output");
+    }
+
+    #[test]
+    fn detect_distributed_resumes_a_local_checkpoint() {
+        let dir = tmpdir();
+        let stem = dir.join("dist-ckpt");
+        let stem_s = stem.to_str().unwrap();
+        run_to_string("simulate", &["--out", stem_s, "--scale", "0.03", "--fakes", "40"]).unwrap();
+        let graph = format!("{stem_s}.rjg");
+        let ckpt = format!("{stem_s}.ckpt");
+        let full =
+            run_to_string("detect", &["--graph", &graph, "--budget", "40", "--json", "true"])
+                .unwrap();
+        // Halt a *local* run after one round, resume it *distributed*.
+        run_to_string(
+            "detect",
+            &[
+                "--graph", &graph, "--budget", "40", "--json", "true", "--max-rounds", "1",
+                "--checkpoint", &ckpt,
+            ],
+        )
+        .unwrap();
+        let resumed = run_to_string(
+            "detect",
+            &[
+                "--graph", &graph, "--budget", "40", "--json", "true", "--resume", &ckpt,
+                "--distributed", "true", "--workers", "2",
+            ],
+        )
+        .unwrap();
+        assert_eq!(resumed, full, "distributed resume diverged from the local run");
+    }
+
+    #[test]
+    fn distributed_flags_require_distributed_mode() {
+        let dir = tmpdir();
+        let stem = dir.join("dist-flags");
+        let stem_s = stem.to_str().unwrap();
+        run_to_string("simulate", &["--out", stem_s, "--scale", "0.03", "--fakes", "30"]).unwrap();
+        let err = run_to_string(
+            "detect",
+            &["--graph", &format!("{stem_s}.rjg"), "--budget", "30", "--workers", "4"],
+        )
+        .unwrap_err();
+        assert!(err.0.contains("--distributed"), "{err}");
     }
 
     #[test]

@@ -58,10 +58,28 @@ COMMANDS:
                 --checkpoint <path>   write a resumable checkpoint after
                                       every completed round
                 --resume <path>       resume from a checkpoint written by
-                                      --checkpoint (same graph required)
+                                      --checkpoint (same graph required;
+                                      local and distributed checkpoints
+                                      are interchangeable)
+                --distributed <bool>  run on the in-process cluster
+                                      runtime (§V); the report is byte-
+                                      identical to the local run at every
+                                      worker count [false]
+                --workers <n>         cluster worker count [default 4]
+                                      (needs --distributed)
+                --request-deadline-ms <n>
+                                      per-request watchdog deadline; a
+                                      worker silent past it is declared
+                                      hung and respawned from lineage
+                                      [default 5000] (needs --distributed)
                 --inject <spec>       deterministic fault injection, e.g.
                                       worker_panic@k=3,io_error@round=2,
-                                      deadline=50ms (testing only)
+                                      deadline=50ms; distributed forms:
+                                      worker_death@fetch=N[:xM] (kill a
+                                      worker at the Nth fetch, M times),
+                                      worker_hang@k=N (hang one worker
+                                      during the Nth sweep index)
+                                      (testing only)
 
   stats       Structural statistics of a graph.
                 --graph <path>        SNAP edge list, or

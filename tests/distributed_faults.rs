@@ -1,0 +1,213 @@
+//! The distributed failure model, end to end: injected worker deaths,
+//! repeated-death schedules, hung workers, tripped budgets, and
+//! kill-and-resume — all through [`DistributedDetector`], all required to
+//! leave the detection report byte-identical to a failure-free run (or to
+//! yield a well-formed `Completion::Partial`, never a crash).
+
+use rejecto::dataflow::{ClusterConfig, DistributedDetector};
+use rejecto::rejecto_core::{
+    Checkpoint, FaultPlan, RejectoConfig, RuntimeError, Seeds, Termination,
+};
+use rejecto::simulator::{Scenario, ScenarioConfig, SimOutput};
+use rejecto::socialgraph::surrogates::Surrogate;
+use std::time::Duration;
+
+const SEED: u64 = 31;
+const FAKES: usize = 300;
+
+fn scenario() -> SimOutput {
+    let host = Surrogate::Facebook.generate_scaled(SEED, 0.04);
+    Scenario::new(ScenarioConfig { num_fakes: FAKES, ..ScenarioConfig::default() })
+        .run(&host, SEED)
+}
+
+/// A cluster that recovers fast under injection: tight watchdog, zero
+/// respawn backoff. Correctness must be independent of both knobs.
+fn snappy(workers: usize) -> ClusterConfig {
+    ClusterConfig {
+        num_workers: workers,
+        request_deadline: Duration::from_millis(50),
+        backoff_base: Duration::ZERO,
+        ..ClusterConfig::default()
+    }
+}
+
+fn plan(spec: &str) -> FaultPlan {
+    FaultPlan::parse(spec).expect("test fault spec parses")
+}
+
+#[test]
+fn reports_are_worker_count_invariant() {
+    let sim = scenario();
+    let config = RejectoConfig::default();
+    let baseline = DistributedDetector::new(snappy(1), config.clone())
+        .detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES))
+        .expect("healthy cluster must detect");
+    assert!(!baseline.groups.is_empty(), "fixture found no spammers; grow the scenario");
+    for workers in [2, 4] {
+        let report = DistributedDetector::new(snappy(workers), config.clone())
+            .detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES))
+            .expect("healthy cluster must detect");
+        assert_eq!(report, baseline, "report changed with worker count {workers}");
+    }
+}
+
+#[test]
+fn injected_deaths_are_invisible_in_the_report() {
+    let sim = scenario();
+    let clean = DistributedDetector::new(snappy(3), RejectoConfig::default())
+        .detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES))
+        .expect("healthy cluster must detect");
+
+    let faulted_config = RejectoConfig {
+        faults: plan("worker_death@fetch=2,worker_death@fetch=11"),
+        ..RejectoConfig::default()
+    };
+    let (report, io) = DistributedDetector::new(snappy(3), faulted_config)
+        .detect_with_io(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES))
+        .expect("faulted cluster with survivors must detect");
+    assert_eq!(report, clean, "worker deaths leaked into the report");
+    assert!(report.failures.is_empty(), "recovered faults must not be recorded as failures");
+    assert!(io.worker_restarts >= 2, "expected ≥2 restarts, saw {}", io.worker_restarts);
+}
+
+#[test]
+fn repeated_deaths_force_rebalance_without_changing_the_report() {
+    let sim = scenario();
+    let clean = DistributedDetector::new(snappy(4), RejectoConfig::default())
+        .detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES))
+        .expect("healthy cluster must detect");
+
+    // The same worker dies on every respawn; past the respawn budget its
+    // shard is merged onto a survivor.
+    let cluster = ClusterConfig { max_respawns: 1, ..snappy(4) };
+    let faulted_config = RejectoConfig {
+        faults: plan("worker_death@fetch=2:x5"),
+        ..RejectoConfig::default()
+    };
+    let (report, io) = DistributedDetector::new(cluster, faulted_config)
+        .detect_with_io(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES))
+        .expect("rebalanced cluster must detect");
+    assert_eq!(report, clean, "shard rebalancing leaked into the report");
+    assert!(io.shards_rebalanced >= 1, "expected a rebalance, saw {}", io.shards_rebalanced);
+}
+
+#[test]
+fn hung_worker_recovery_is_invisible() {
+    let sim = scenario();
+    let clean = DistributedDetector::new(snappy(2), RejectoConfig::default())
+        .detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES))
+        .expect("healthy cluster must detect");
+
+    let faulted_config = RejectoConfig {
+        faults: plan("worker_hang@k=1"),
+        ..RejectoConfig::default()
+    };
+    let (report, io) = DistributedDetector::new(snappy(2), faulted_config)
+        .detect_with_io(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES))
+        .expect("watchdog must recover the hung worker");
+    assert_eq!(report, clean, "hung-worker recovery leaked into the report");
+    assert!(io.worker_restarts >= 1, "watchdog never fired");
+}
+
+#[test]
+fn zero_deadline_budget_yields_a_partial_report() {
+    let sim = scenario();
+    let mut config = RejectoConfig::default();
+    config.budget.deadline = Some(Duration::ZERO);
+    let report = DistributedDetector::new(snappy(2), config)
+        .detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES))
+        .expect("a tripped budget is a partial report, not an error");
+    assert!(report.is_partial(), "zero deadline must interrupt the run");
+    assert_eq!(report.rounds, 0, "no round can complete under a zero deadline");
+    assert!(report.groups.is_empty());
+}
+
+#[test]
+fn kill_and_resume_reproduces_the_uninterrupted_run() {
+    let sim = scenario();
+    for workers in [1usize, 4] {
+        let full = DistributedDetector::new(snappy(workers), RejectoConfig::default())
+            .detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES))
+            .expect("healthy cluster must detect");
+        assert!(full.rounds >= 2, "fixture needs ≥2 rounds to exercise resume");
+
+        let mut halted_config = RejectoConfig::default();
+        halted_config.budget.max_rounds = Some(1);
+        let halted = DistributedDetector::new(snappy(workers), halted_config)
+            .detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES))
+            .expect("budgeted run must yield a partial report");
+        assert!(halted.is_partial());
+
+        let json = Checkpoint::capture(&sim.graph, &halted).to_json();
+        let restored = Checkpoint::from_json(&json).expect("checkpoint JSON round-trips");
+        let resumed = DistributedDetector::new(snappy(workers), RejectoConfig::default())
+            .resume(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES), &restored)
+            .expect("resume accepts its own checkpoint");
+        assert_eq!(resumed, full, "kill-and-resume diverged at workers={workers}");
+    }
+}
+
+#[test]
+fn faults_survive_a_resume_boundary() {
+    // A death injected into the *resumed* half of a run must still be
+    // invisible: recovery replays against the residual graph's lineage.
+    let sim = scenario();
+    let full = DistributedDetector::new(snappy(2), RejectoConfig::default())
+        .detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES))
+        .expect("healthy cluster must detect");
+
+    let mut halted_config = RejectoConfig::default();
+    halted_config.budget.max_rounds = Some(1);
+    let halted = DistributedDetector::new(snappy(2), halted_config)
+        .detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES))
+        .expect("budgeted run must yield a partial report");
+    let ckpt = Checkpoint::capture(&sim.graph, &halted);
+
+    let faulted_config = RejectoConfig {
+        faults: plan("worker_death@fetch=2"),
+        ..RejectoConfig::default()
+    };
+    let resumed = DistributedDetector::new(snappy(2), faulted_config)
+        .resume(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES), &ckpt)
+        .expect("faulted resume with a survivor must detect");
+    assert_eq!(resumed, full, "post-resume fault recovery leaked into the report");
+}
+
+#[test]
+fn invalid_cluster_config_is_a_structured_error() {
+    let sim = scenario();
+    let err = DistributedDetector::new(
+        ClusterConfig { num_workers: 0, ..ClusterConfig::default() },
+        RejectoConfig::default(),
+    )
+    .detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES))
+    .expect_err("zero workers must be rejected");
+    match err {
+        RuntimeError::ClusterFailed { message } => {
+            assert!(message.contains("num_workers"), "unhelpful message: {message}");
+        }
+        other => panic!("expected ClusterFailed, got {other}"),
+    }
+}
+
+#[test]
+fn losing_every_worker_surfaces_as_cluster_failed() {
+    let sim = scenario();
+    // Two workers, no respawn budget: the first death rebalances onto the
+    // lone survivor; killing that one too leaves nothing to merge onto.
+    let cluster = ClusterConfig { max_respawns: 0, ..snappy(2) };
+    let config = RejectoConfig {
+        faults: plan("worker_death@fetch=1:x8"),
+        ..RejectoConfig::default()
+    };
+    let err = DistributedDetector::new(cluster, config)
+        .detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES))
+        .expect_err("losing the whole cluster must be an error, not a panic");
+    match err {
+        RuntimeError::ClusterFailed { message } => {
+            assert!(message.contains("no survivor"), "unhelpful message: {message}");
+        }
+        other => panic!("expected ClusterFailed, got {other}"),
+    }
+}

@@ -12,7 +12,9 @@ fn check_parity(cfg: ScenarioConfig, cluster: ClusterConfig, seed: u64) {
     let sim = Scenario::new(cfg).run(&host, seed);
     let rejecto = RejectoConfig::default();
     let local = MaarSolver::new(rejecto.clone()).solve(&sim.graph, &[], &[]);
-    let dist = DistributedMaar::new(cluster, rejecto).solve(&sim.graph);
+    let dist = DistributedMaar::new(cluster, rejecto)
+        .solve(&sim.graph)
+        .expect("healthy cluster must solve");
     match local {
         Some(cut) => {
             assert_eq!(dist.suspects, cut.suspects(), "cut mismatch (seed {seed})");
@@ -63,7 +65,12 @@ fn parity_with_pathological_buffer() {
     // A one-entry buffer with single-node batches must still be correct.
     check_parity(
         ScenarioConfig { num_fakes: 300, ..ScenarioConfig::default() },
-        ClusterConfig { num_workers: 2, prefetch_batch: 1, buffer_capacity: 1 },
+        ClusterConfig {
+            num_workers: 2,
+            prefetch_batch: 1,
+            buffer_capacity: 1,
+            ..ClusterConfig::default()
+        },
         24,
     );
 }
