@@ -80,8 +80,10 @@ impl Checkpoint {
                 nodes: group.nodes.iter().map(|u| u.0).collect(),
             });
         }
-        let remaining =
-            (0..g.num_nodes() as u32).filter(|&u| !pruned[u as usize]).collect();
+        let remaining = (0..g.num_nodes())
+            .filter(|&u| !pruned[u])
+            .map(|u| u32::try_from(u).expect("node ids fit in u32"))
+            .collect();
         Checkpoint {
             version: CHECKPOINT_VERSION,
             num_nodes: g.num_nodes(),
@@ -142,8 +144,10 @@ impl Checkpoint {
                 supported: CHECKPOINT_VERSION,
             });
         }
-        let num_nodes = field_u64(&doc, "num_nodes")? as usize;
-        let rounds = field_u64(&doc, "rounds")? as usize;
+        let num_nodes = usize::try_from(field_u64(&doc, "num_nodes")?)
+            .map_err(|_| bad_format("`num_nodes` exceeds the address space"))?;
+        let rounds = usize::try_from(field_u64(&doc, "rounds")?)
+            .map_err(|_| bad_format("`rounds` exceeds the address space"))?;
         let remaining = id_array(&doc, "remaining")?;
         let raw_groups = doc
             .get("groups")
@@ -165,8 +169,12 @@ impl Checkpoint {
             }
             groups.push(CheckpointGroup {
                 round: field_u64(g, "round")
-                    .map_err(|_| bad_format(&format!("group {i}: missing integer `round`")))?
-                    as usize,
+                    .map_err(|_| bad_format(&format!("group {i}: missing integer `round`")))
+                    .and_then(|r| {
+                        usize::try_from(r).map_err(|_| {
+                            bad_format(&format!("group {i}: `round` exceeds the address space"))
+                        })
+                    })?,
                 k_num: field_u64(g, "k_num")
                     .map_err(|_| bad_format(&format!("group {i}: missing integer `k_num`")))?,
                 k_den,
@@ -202,7 +210,7 @@ impl Checkpoint {
                 }
             }
             for &u in ids {
-                let Some(slot) = seen.get_mut(u as usize) else {
+                let Some(slot) = usize::try_from(u).ok().and_then(|i| seen.get_mut(i)) else {
                     return Err(mismatch(&format!("{what} id {u} out of range")));
                 };
                 if *slot {

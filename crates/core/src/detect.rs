@@ -154,7 +154,7 @@ impl DetectionReport {
                 ranked.sort_by(|&a, &b| {
                     let ra = g.rejection_ratio(a).unwrap_or(0.0);
                     let rb = g.rejection_ratio(b).unwrap_or(0.0);
-                    rb.partial_cmp(&ra).expect("finite ratios").then(a.cmp(&b))
+                    rb.total_cmp(&ra).then(a.cmp(&b))
                 });
                 out.extend(ranked.into_iter().take(remaining));
             }
@@ -194,7 +194,7 @@ impl LoopState {
     fn from_checkpoint(g: &AugmentedGraph, ckpt: &Checkpoint) -> LoopState {
         let mut keep = vec![false; g.num_nodes()];
         for &u in &ckpt.remaining {
-            keep[u as usize] = true;
+            keep[usize::try_from(u).expect("checkpoint ids validated against num_nodes")] = true;
         }
         let (current, to_original) = g.induced_subgraph(&keep);
         LoopState { report: ckpt.report(), current, to_original }
@@ -376,7 +376,7 @@ impl IterativeDetector {
             // a detected spammer seed has done its job).
             let mut current_index = vec![u32::MAX; g.num_nodes()];
             for (i, &orig) in to_original.iter().enumerate() {
-                current_index[orig.index()] = i as u32;
+                current_index[orig.index()] = u32::try_from(i).expect("node count fits in u32");
             }
             let map = |ids: &[NodeId]| -> Vec<NodeId> {
                 ids.iter()

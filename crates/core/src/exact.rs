@@ -28,7 +28,7 @@ pub fn exact_maar_cut(g: &AugmentedGraph, max_suspects: usize) -> Option<(Partit
     );
     let mut best: Option<(u32, Partition, f64)> = None;
     for mask in 1u32..(1u32 << n) {
-        if (mask.count_ones() as usize) > max_suspects {
+        if (mask.count_ones() as usize) > max_suspects { // xtask-allow: lossy-cast: a u32 popcount is at most 32 and always fits usize
             continue;
         }
         let regions: Vec<Region> = (0..n)
@@ -82,7 +82,9 @@ pub fn exact_linear_cut(g: &AugmentedGraph, num: i64, den: i64) -> (Vec<NodeId>,
             })
             .collect();
         let p = Partition::from_regions(g, regions);
-        let obj = den * p.cross_friendships() as i64 - num * p.cross_rejections() as i64;
+        let cf = i64::try_from(p.cross_friendships()).expect("edge count fits in i64");
+        let cr = i64::try_from(p.cross_rejections()).expect("edge count fits in i64");
+        let obj = den * cf - num * cr;
         if obj < best_obj {
             best_obj = obj;
             best_mask = mask;

@@ -131,7 +131,7 @@ impl MaarSolver {
     /// `floor(max_suspect_fraction · n)` rounds to 0, which would silently
     /// reject *every* candidate cut — even a single blatant spammer.
     fn suspect_cap(&self, n: usize) -> usize {
-        ((self.config.max_suspect_fraction * n as f64).floor() as usize).max(1)
+        ((self.config.max_suspect_fraction * n as f64).floor() as usize).max(1) // xtask-allow: lossy-cast: n < 2^53 converts exactly and the floored fraction lies in [0, n]
     }
 
     /// Sweeps every `k`, each an independent extended-KL run, and reduces
@@ -272,9 +272,7 @@ impl MaarSolver {
                             .map(|r| (r, u))
                     })
                     .collect();
-                candidates.sort_by(|a, b| {
-                    b.0.partial_cmp(&a.0).expect("finite ratios").then(a.1.cmp(&b.1))
-                });
+                candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
                 let mut region = vec![Region::Legit; g.num_nodes()];
                 for (_, u) in candidates.into_iter().take(cap) {
                     region[u.index()] = Region::Suspect;

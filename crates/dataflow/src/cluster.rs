@@ -271,7 +271,7 @@ impl Shard {
     }
 
     fn serve(self, rx: Receiver<Request>, tx: Sender<Response>) {
-        while let Ok(req) = rx.recv() {
+        while let Ok(req) = rx.recv() { // xtask-allow: channel-discipline: shard serve loop parks until the owner sends a request; shutdown arrives as Request::Shutdown or a hangup, so blocking cannot wedge the cluster
             match req {
                 Request::Shutdown => break,
                 Request::Fetch(ids) => {
@@ -1017,9 +1017,7 @@ impl DistributedMaar {
                         (ratio >= t).then_some((ratio, i))
                     })
                     .collect();
-                candidates.sort_by(|a, b| {
-                    b.0.partial_cmp(&a.0).expect("finite ratios").then(a.1.cmp(&b.1))
-                });
+                candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
                 let mut warm = vec![LEGIT; num_nodes];
                 for (_, i) in candidates.into_iter().take(warm_cap) {
                     warm[i] = SUSPECT;

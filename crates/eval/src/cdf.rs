@@ -22,7 +22,7 @@ impl Cdf {
         I: IntoIterator<Item = f64>,
     {
         let mut sorted: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("filtered to finite values"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Cdf { sorted }
     }
 

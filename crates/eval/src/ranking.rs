@@ -29,7 +29,7 @@ pub fn auc(score: &[f64], is_positive: &[bool]) -> f64 {
     }
     // Mann–Whitney U via rank sums (average ranks for ties).
     let mut idx: Vec<usize> = (0..score.len()).collect();
-    idx.sort_by(|&a, &b| score[a].partial_cmp(&score[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| score[a].total_cmp(&score[b]));
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0usize;
     while i < idx.len() {
@@ -64,7 +64,7 @@ pub fn roc_curve(score: &[f64], is_positive: &[bool]) -> Vec<(f64, f64)> {
     let n_pos = is_positive.iter().filter(|&&p| p).count().max(1) as f64;
     let n_neg = (is_positive.len() - is_positive.iter().filter(|&&p| p).count()).max(1) as f64;
     let mut idx: Vec<usize> = (0..score.len()).collect();
-    idx.sort_by(|&a, &b| score[a].partial_cmp(&score[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| score[a].total_cmp(&score[b]));
     let mut pts = vec![(0.0, 0.0)];
     let (mut tp, mut fp) = (0usize, 0usize);
     let mut i = 0usize;

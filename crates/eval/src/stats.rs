@@ -36,9 +36,9 @@ impl Summary {
             return None;
         }
         let n = xs.len();
-        let mean = xs.iter().sum::<f64>() / n as f64;
+        let mean = xs.iter().sum::<f64>() / n as f64; // xtask-allow: float-determinism: sequential sum over a materialized Vec in index order
         let var = if n > 1 {
-            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64 // xtask-allow: float-determinism: sequential sum over a materialized Vec in index order
         } else {
             0.0
         };

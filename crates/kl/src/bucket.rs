@@ -9,6 +9,14 @@
 /// called a bucket list, which indexes each node according to its potential
 /// gain" (§IV-C).
 ///
+/// This structure sits inside every KL sweep on every worker, so its
+/// membership preconditions are `debug_assert!`s (release builds must not
+/// abort a whole sweep on a recoverable bookkeeping slip; the
+/// `debug-invariants` feature and [`assert_consistent`](Self::assert_consistent)
+/// carry the release-strength checks). Out-of-range *gains* are still
+/// rejected in every profile — filing a node in the wrong bucket would
+/// silently corrupt the structure rather than degrade.
+///
 /// ```
 /// use kl::BucketList;
 /// let mut b = BucketList::new(3, -10, 10);
@@ -22,19 +30,25 @@
 /// ```
 #[derive(Debug, Clone)]
 pub struct BucketList {
-    min_gain: i64,
+    pub(crate) min_gain: i64,
     /// `heads[g - min_gain]` = first node in the gain-`g` list, or `NIL`.
-    heads: Vec<u32>,
-    prev: Vec<u32>,
-    next: Vec<u32>,
-    gain: Vec<i64>,
-    present: Vec<bool>,
+    pub(crate) heads: Vec<u32>,
+    pub(crate) prev: Vec<u32>,
+    pub(crate) next: Vec<u32>,
+    pub(crate) gain: Vec<i64>,
+    pub(crate) present: Vec<bool>,
     /// Highest bucket index that may be non-empty.
-    high: usize,
-    len: usize,
+    pub(crate) high: usize,
+    pub(crate) len: usize,
 }
 
-const NIL: u32 = u32::MAX;
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// Node ids are `u32` by construction; every slot array is indexed by id.
+#[inline]
+fn ix(node: u32) -> usize {
+    node as usize // xtask-allow: lossy-cast: u32 → usize widens on every supported target
+}
 
 impl BucketList {
     /// Creates an empty bucket list for nodes `0..num_nodes` and gains in
@@ -44,8 +58,8 @@ impl BucketList {
     ///
     /// Panics if `min_gain > max_gain`.
     pub fn new(num_nodes: usize, min_gain: i64, max_gain: i64) -> Self {
-        assert!(min_gain <= max_gain, "empty gain range [{min_gain}, {max_gain}]");
-        let span = (max_gain - min_gain + 1) as usize;
+        let span = usize::try_from(max_gain.saturating_sub(min_gain).saturating_add(1))
+            .expect("empty gain range: min_gain must be <= max_gain");
         BucketList {
             min_gain,
             heads: vec![NIL; span],
@@ -77,50 +91,53 @@ impl BucketList {
     /// Panics if `node` is out of range.
     #[inline]
     pub fn contains(&self, node: u32) -> bool {
-        self.present[node as usize]
+        self.present[ix(node)]
     }
 
     /// Current gain of an indexed node.
     ///
     /// # Panics
     ///
-    /// Panics if `node` is out of range or not indexed.
+    /// Panics if `node` is out of range; debug builds additionally assert
+    /// that `node` is indexed (release builds return the last recorded
+    /// gain).
     #[inline]
     pub fn gain_of(&self, node: u32) -> i64 {
-        assert!(self.present[node as usize], "node {node} not in bucket list");
-        self.gain[node as usize]
+        debug_assert!(self.present[ix(node)], "node {node} not in bucket list");
+        self.gain[ix(node)]
     }
 
+    /// Maps a gain to its bucket index, rejecting gains outside the
+    /// configured `[min_gain, max_gain]` in every build profile: a
+    /// mis-filed node would corrupt the chain structure silently.
     #[inline]
     fn bucket_of(&self, gain: i64) -> usize {
-        let idx = gain - self.min_gain;
-        assert!(
-            idx >= 0 && (idx as usize) < self.heads.len(),
-            "gain {gain} outside range [{}, {}]",
-            self.min_gain,
-            self.min_gain + self.heads.len() as i64 - 1
-        );
-        idx as usize
+        gain.checked_sub(self.min_gain)
+            .and_then(|d| usize::try_from(d).ok())
+            .filter(|&b| b < self.heads.len())
+            .expect("gain outside range configured at construction")
     }
 
     /// Indexes `node` with `gain`.
     ///
     /// # Panics
     ///
-    /// Panics if `node` is already indexed, out of range, or `gain` is
-    /// outside the configured range.
+    /// Panics if `node` is out of range or `gain` is outside the
+    /// configured range; debug builds additionally assert that `node` is
+    /// not already indexed (a double insert in release corrupts the
+    /// chain, which `assert_consistent` detects).
     pub fn insert(&mut self, node: u32, gain: i64) {
-        assert!(!self.present[node as usize], "node {node} already in bucket list");
+        debug_assert!(!self.present[ix(node)], "node {node} already in bucket list");
         let b = self.bucket_of(gain);
         let head = self.heads[b];
-        self.next[node as usize] = head;
-        self.prev[node as usize] = NIL;
+        self.next[ix(node)] = head;
+        self.prev[ix(node)] = NIL;
         if head != NIL {
-            self.prev[head as usize] = node;
+            self.prev[ix(head)] = node;
         }
         self.heads[b] = node;
-        self.gain[node as usize] = gain;
-        self.present[node as usize] = true;
+        self.gain[ix(node)] = gain;
+        self.present[ix(node)] = true;
         self.high = self.high.max(b);
         self.len += 1;
     }
@@ -129,20 +146,21 @@ impl BucketList {
     ///
     /// # Panics
     ///
-    /// Panics if `node` is out of range or not indexed.
+    /// Panics if `node` is out of range; debug builds additionally assert
+    /// that `node` is indexed.
     pub fn remove(&mut self, node: u32) {
-        assert!(self.present[node as usize], "node {node} not in bucket list");
-        let b = self.bucket_of(self.gain[node as usize]);
-        let (p, n) = (self.prev[node as usize], self.next[node as usize]);
+        debug_assert!(self.present[ix(node)], "node {node} not in bucket list");
+        let b = self.bucket_of(self.gain[ix(node)]);
+        let (p, n) = (self.prev[ix(node)], self.next[ix(node)]);
         if p != NIL {
-            self.next[p as usize] = n;
+            self.next[ix(p)] = n;
         } else {
             self.heads[b] = n;
         }
         if n != NIL {
-            self.prev[n as usize] = p;
+            self.prev[ix(n)] = p;
         }
-        self.present[node as usize] = false;
+        self.present[ix(node)] = false;
         self.len -= 1;
     }
 
@@ -150,10 +168,10 @@ impl BucketList {
     ///
     /// # Panics
     ///
-    /// Panics if `node` is out of range, not indexed, or `gain` is outside
-    /// the configured range.
+    /// Panics if `node` is out of range or `gain` is outside the
+    /// configured range.
     pub fn update(&mut self, node: u32, gain: i64) {
-        if self.gain[node as usize] == gain && self.present[node as usize] {
+        if self.gain[ix(node)] == gain && self.present[ix(node)] {
             return;
         }
         self.remove(node);
@@ -179,7 +197,7 @@ impl BucketList {
         if self.len == 0 {
             None
         } else {
-            Some(self.min_gain + self.high as i64)
+            Some(self.min_gain + self.high as i64) // xtask-allow: lossy-cast: bucket index < heads.len() <= i64::MAX
         }
     }
 
@@ -191,51 +209,23 @@ impl BucketList {
         }
         let node = self.heads[self.high];
         debug_assert_ne!(node, NIL);
-        let gain = self.gain[node as usize];
+        let gain = self.gain[ix(node)];
         self.remove(node);
         Some((node, gain))
     }
 
     /// Walks every gain chain and re-derives the summary state the `O(1)`
-    /// operations maintain incrementally: each chained node must be marked
-    /// present, filed under the bucket its recorded gain maps to, and
-    /// back-linked correctly; the chains must reach exactly `len` nodes
-    /// (so no orphans, no cycles); no bucket above the high-water mark may
-    /// be non-empty. Compiled only under the `debug-invariants` feature.
+    /// operations maintain incrementally; see
+    /// [`invariants::assert_bucket_consistent`](crate::invariants) for the
+    /// checked properties. Compiled only under the `debug-invariants`
+    /// feature.
     ///
     /// # Panics
     ///
     /// Panics on the first structural inconsistency.
     #[cfg(feature = "debug-invariants")]
     pub fn assert_consistent(&self) {
-        let mut reached = 0usize;
-        for (b, &head) in self.heads.iter().enumerate() {
-            assert!(
-                b <= self.high || head == NIL,
-                "bucket {b} non-empty above high-water mark {}",
-                self.high
-            );
-            let mut prev = NIL;
-            let mut cur = head;
-            while cur != NIL {
-                let i = cur as usize;
-                assert!(self.present[i], "chained node {cur} not marked present");
-                assert_eq!(
-                    self.gain[i] - self.min_gain,
-                    b as i64,
-                    "node {cur} with gain {} filed in bucket {b}",
-                    self.gain[i]
-                );
-                assert_eq!(self.prev[i], prev, "broken back-link at node {cur}");
-                reached += 1;
-                assert!(reached <= self.len, "cycle or orphan chain in bucket {b}");
-                prev = cur;
-                cur = self.next[i];
-            }
-        }
-        assert_eq!(reached, self.len, "{reached} nodes reachable but len = {}", self.len);
-        let present = self.present.iter().filter(|&&p| p).count();
-        assert_eq!(present, self.len, "{present} present flags but len = {}", self.len);
+        crate::invariants::assert_bucket_consistent(self);
     }
 
     fn settle_high(&mut self) {
@@ -254,14 +244,14 @@ impl BucketList {
         if self.len == 0 || n == 0 {
             return out;
         }
-        let mut b = self.high as i64;
-        while b >= 0 && out.len() < n {
-            let mut cur = self.heads[b as usize];
+        let mut b = self.high + 1;
+        while b > 0 && out.len() < n {
+            b -= 1;
+            let mut cur = self.heads[b];
             while cur != NIL && out.len() < n {
                 out.push(cur);
-                cur = self.next[cur as usize];
+                cur = self.next[ix(cur)];
             }
-            b -= 1;
         }
         out
     }
@@ -348,6 +338,12 @@ mod tests {
     fn out_of_range_gain_panics() {
         let mut b = BucketList::new(1, -1, 1);
         b.insert(0, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty gain range")]
+    fn inverted_gain_range_panics() {
+        let _ = BucketList::new(1, 1, -1);
     }
 
     #[test]

@@ -33,7 +33,8 @@ pub struct Bisection {
 /// Panics if `side.len() != g.num_nodes()`.
 pub fn cut_size(g: &Graph, side: &[bool]) -> u64 {
     assert_eq!(side.len(), g.num_nodes(), "side vector has wrong length");
-    g.edges().filter(|&(u, v)| side[u.index()] != side[v.index()]).count() as u64
+    let crossing = g.edges().filter(|&(u, v)| side[u.index()] != side[v.index()]).count();
+    u64::try_from(crossing).expect("edge count fits in u64")
 }
 
 /// The `D` value of classic KL: external minus internal degree.
@@ -73,7 +74,7 @@ fn d_value(g: &Graph, side: &[bool], u: NodeId) -> i64 {
 pub fn bisect(g: &Graph, initial: Vec<bool>, max_passes: usize) -> Bisection {
     assert_eq!(initial.len(), g.num_nodes(), "initial assignment has wrong length");
     let size_b = initial.iter().filter(|&&s| s).count();
-    assert!(size_b > 0 && size_b < initial.len(), "both parts must be non-empty");
+    assert!(size_b > 0 && size_b < initial.len(), "both parts must be non-empty"); // xtask-allow: no-panic: cold entry validation of a caller-supplied assignment, not a sweep path
 
     let mut side = initial;
     let mut passes = 0usize;

@@ -1,6 +1,17 @@
 use crate::{BucketList, CancelToken, KParam};
 use rejection::{AugmentedGraph, NodeId, Partition, Region};
 
+/// Exact conversion for the scaled-objective arithmetic. Weights and
+/// edge counts all live far below `i64::MAX`; if one ever did not, the
+/// gain products would overflow anyway, so this is where the range
+/// assumption is enforced rather than silently wrapped.
+fn obj_i64<T>(x: T) -> i64
+where
+    i64: TryFrom<T>,
+{
+    i64::try_from(x).ok().expect("objective operand exceeds i64 range")
+}
+
 /// Configuration for one [`ExtendedKl`] run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExtendedKlConfig {
@@ -113,25 +124,25 @@ impl<'a> ExtendedKl<'a> {
 
     /// The scaled objective `den·|F(Ū,U)| − num·|R⟨Ū,U⟩|` of a partition.
     pub fn objective(&self, p: &Partition) -> i64 {
-        let den = self.cfg.k.den() as i64;
-        let num = self.cfg.k.num() as i64;
-        den * p.cross_friendships() as i64 - num * p.cross_rejections() as i64
+        let den = obj_i64(self.cfg.k.den());
+        let num = obj_i64(self.cfg.k.num());
+        den * obj_i64(p.cross_friendships()) - num * obj_i64(p.cross_rejections())
     }
 
     /// Gain (objective reduction) of switching `u` in `p`.
     fn gain(&self, p: &Partition, u: NodeId) -> i64 {
         let (df, dr) = p.switch_delta(self.g, u);
-        self.cfg.k.num() as i64 * dr - self.cfg.k.den() as i64 * df
+        obj_i64(self.cfg.k.num()) * dr - obj_i64(self.cfg.k.den()) * df
     }
 
     /// Largest possible |gain| over all nodes, used to size the bucket list.
     fn gain_bound(&self) -> i64 {
-        let den = self.cfg.k.den() as i64;
-        let num = self.cfg.k.num() as i64;
+        let den = obj_i64(self.cfg.k.den());
+        let num = obj_i64(self.cfg.k.num());
         let mut bound = 1i64;
         for u in self.g.nodes() {
-            let b = den * self.g.friend_degree(u) as i64
-                + num * (self.g.rejectors_of(u).len() + self.g.rejected_by(u).len()) as i64;
+            let b = den * obj_i64(self.g.friend_degree(u))
+                + num * obj_i64(self.g.rejectors_of(u).len() + self.g.rejected_by(u).len());
             bound = bound.max(b);
         }
         bound
@@ -209,8 +220,8 @@ impl<'a> ExtendedKl<'a> {
     /// gains, and the index of the best strictly positive prefix (if any).
     fn one_pass(&self, p: &Partition, bound: i64) -> (Vec<(u32, i64)>, Option<usize>) {
         let g = self.g;
-        let num = self.cfg.k.num() as i64;
-        let den = self.cfg.k.den() as i64;
+        let num = obj_i64(self.cfg.k.num());
+        let den = obj_i64(self.cfg.k.den());
         let mut p_tmp = p.clone();
         let mut bucket = BucketList::new(g.num_nodes(), -bound, bound);
         for u in g.nodes() {

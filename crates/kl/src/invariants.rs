@@ -1,0 +1,58 @@
+//! Release-strength structural checks, compiled only under the
+//! `debug-invariants` feature.
+//!
+//! The hot-path bookkeeping in [`BucketList`] guards its preconditions
+//! with `debug_assert!` (the kernel sits inside every worker's sweep and
+//! must not abort release runs on a recoverable slip). The functions
+//! here are the counterweight: full-structure walks that re-derive every
+//! summary the `O(1)` operations maintain incrementally, and `assert!`
+//! hard when the structure is corrupted. This module is the sanctioned
+//! home for such aborts — a corrupted structure has no degraded answer
+//! to give — and is exempted from the `no-panic`/`lossy-cast` lint
+//! tiers by path (`cargo xtask check` skips `*invariants*` modules).
+
+#![cfg(feature = "debug-invariants")]
+
+use crate::bucket::{BucketList, NIL};
+
+/// Walks every gain chain of `b` and checks:
+///
+/// * each chained node is marked present and filed under the bucket its
+///   recorded gain maps to, with correct back-links;
+/// * the chains reach exactly `len` nodes (no orphans, no cycles);
+/// * no bucket above the high-water mark is non-empty;
+/// * the present-flag population equals `len`.
+///
+/// # Panics
+///
+/// Panics on the first structural inconsistency.
+pub fn assert_bucket_consistent(b: &BucketList) {
+    let mut reached = 0usize;
+    for (bi, &head) in b.heads.iter().enumerate() {
+        assert!(
+            bi <= b.high || head == NIL,
+            "bucket {bi} non-empty above high-water mark {}",
+            b.high
+        );
+        let mut prev = NIL;
+        let mut cur = head;
+        while cur != NIL {
+            let i = cur as usize;
+            assert!(b.present[i], "chained node {cur} not marked present");
+            assert_eq!(
+                b.gain[i] - b.min_gain,
+                bi as i64,
+                "node {cur} with gain {} filed in bucket {bi}",
+                b.gain[i]
+            );
+            assert_eq!(b.prev[i], prev, "broken back-link at node {cur}");
+            reached += 1;
+            assert!(reached <= b.len, "cycle or orphan chain in bucket {bi}");
+            prev = cur;
+            cur = b.next[i];
+        }
+    }
+    assert_eq!(reached, b.len, "{reached} nodes reachable but len = {}", b.len);
+    let present = b.present.iter().filter(|&&p| p).count();
+    assert_eq!(present, b.len, "{present} present flags but len = {}", b.len);
+}

@@ -27,8 +27,8 @@ impl KParam {
     ///
     /// Panics if `num == 0` or `den == 0` (the objective requires `k > 0`).
     pub fn new(num: u64, den: u64) -> Self {
-        assert!(num > 0, "k must be positive (zero numerator)");
-        assert!(den > 0, "k denominator must be positive");
+        assert!(num > 0, "k must be positive (zero numerator)"); // xtask-allow: no-panic: cold constructor validation, documented panic contract
+        assert!(den > 0, "k denominator must be positive"); // xtask-allow: no-panic: cold constructor validation, documented panic contract
         let g = gcd(num, den);
         KParam { num: num / g, den: den / g }
     }
@@ -40,9 +40,9 @@ impl KParam {
     ///
     /// Panics if `k` is not finite and positive, or `den == 0`.
     pub fn approximate(k: f64, den: u64) -> Self {
-        assert!(k.is_finite() && k > 0.0, "k must be finite and positive, got {k}");
-        assert!(den > 0, "denominator resolution must be positive");
-        let num = ((k * den as f64).round() as u64).max(1);
+        assert!(k.is_finite() && k > 0.0, "k must be finite and positive, got {k}"); // xtask-allow: no-panic: cold constructor validation, documented panic contract
+        assert!(den > 0, "denominator resolution must be positive"); // xtask-allow: no-panic: cold constructor validation, documented panic contract
+        let num = ((k * den as f64).round() as u64).max(1); // xtask-allow: lossy-cast: the f64→u64 rounding IS the approximation; k is finite-positive and den ≤ 2^53 converts exactly
         KParam::new(num, den)
     }
 
@@ -58,7 +58,7 @@ impl KParam {
 
     /// The value `num/den` as a float.
     pub fn value(&self) -> f64 {
-        self.num as f64 / self.den as f64
+        self.num as f64 / self.den as f64 // xtask-allow: lossy-cast: display-precision conversion only; exact comparisons go through Ord
     }
 
     /// The geometric sweep `k_min, k_min·factor, …` capped at `k_max`,
@@ -78,9 +78,9 @@ impl KParam {
     /// Panics if `k_min`, `k_max`, or `factor` are non-positive,
     /// `k_min > k_max`, or `factor <= 1`.
     pub fn geometric_sequence(k_min: f64, k_max: f64, factor: f64, den: u64) -> Vec<KParam> {
-        assert!(k_min > 0.0 && k_max > 0.0, "k bounds must be positive");
-        assert!(k_min <= k_max, "k_min {k_min} exceeds k_max {k_max}");
-        assert!(factor > 1.0, "geometric factor must exceed 1");
+        assert!(k_min > 0.0 && k_max > 0.0, "k bounds must be positive"); // xtask-allow: no-panic: cold sweep-configuration validation, documented panic contract
+        assert!(k_min <= k_max, "k_min {k_min} exceeds k_max {k_max}"); // xtask-allow: no-panic: cold sweep-configuration validation, documented panic contract
+        assert!(factor > 1.0, "geometric factor must exceed 1"); // xtask-allow: no-panic: cold sweep-configuration validation, documented panic contract
         let mut out: Vec<KParam> = Vec::new();
         let mut k = k_min;
         loop {
@@ -113,8 +113,8 @@ impl Ord for KParam {
     /// Consistent with `Eq`: reduced fractions are unique, so
     /// `a.cmp(&b) == Equal` iff `a == b`.
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        let lhs = self.num as u128 * other.den as u128;
-        let rhs = other.num as u128 * self.den as u128;
+        let lhs = u128::from(self.num) * u128::from(other.den);
+        let rhs = u128::from(other.num) * u128::from(self.den);
         lhs.cmp(&rhs)
     }
 }

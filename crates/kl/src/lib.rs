@@ -25,6 +25,7 @@ mod bucket;
 mod cancel;
 pub mod classic;
 mod extended;
+pub(crate) mod invariants;
 mod kparam;
 
 pub use bucket::BucketList;

@@ -58,7 +58,7 @@ pub fn power_law_alpha(g: &Graph, d_min: usize) -> Option<f64> {
     if tail.len() < 10 {
         return None;
     }
-    let denom: f64 = tail.iter().map(|&d| (d / (d_min as f64 - 0.5)).ln()).sum();
+    let denom = crate::det::ordered_sum(tail.iter().map(|&d| (d / (d_min as f64 - 0.5)).ln()));
     Some(1.0 + tail.len() as f64 / denom)
 }
 

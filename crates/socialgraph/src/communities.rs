@@ -167,7 +167,7 @@ pub fn spread_seeds<R: Rng + ?Sized>(
         assigned += floor;
         remainders.push((exact - floor as f64, i));
     }
-    remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite remainders"));
+    remainders.sort_by(|a, b| b.0.total_cmp(&a.0));
     let mut ri = 0usize;
     while assigned < budget && ri < remainders.len() {
         let i = remainders[ri].1;

@@ -40,6 +40,7 @@ mod id;
 
 pub mod analysis;
 pub mod communities;
+pub mod det;
 pub mod generators;
 pub mod io;
 pub mod metrics;

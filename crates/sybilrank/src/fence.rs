@@ -74,23 +74,23 @@ impl SybilFence {
         }
         let discount: Vec<f64> = g
             .nodes()
-            .map(|u| 1.0 / (1.0 + self.config.gamma * g.rejections_received(u) as f64))
+            .map(|u| 1.0 / (1.0 + self.config.gamma * g.rejections_received(u) as f64)) // xtask-allow: lossy-cast: rejection count < 2^53 converts exactly
             .collect();
         // Per-node weighted degree: Σ over friends of the receiver-side
         // discount (what the node can emit per round).
         let weighted_degree: Vec<f64> = g
             .nodes()
-            .map(|u| g.friends(u).iter().map(|v| discount[v.index()]).sum())
+            .map(|u| socialgraph::det::ordered_sum(g.friends(u).iter().map(|v| discount[v.index()])))
             .collect();
 
         let iterations = self
             .config
             .rank
             .iterations
-            .unwrap_or_else(|| (n.max(2) as f64).log2().ceil() as usize);
+            .unwrap_or_else(|| (n.max(2) as f64).log2().ceil() as usize); // xtask-allow: lossy-cast: n < 2^53 converts exactly; ceil(log2 n) is a small non-negative integer
         let mut trust = vec![0.0f64; n];
         for s in seeds {
-            trust[s.index()] += self.config.rank.total_trust / seeds.len() as f64;
+            trust[s.index()] += self.config.rank.total_trust / seeds.len() as f64; // xtask-allow: lossy-cast: seed count < 2^53 converts exactly
         }
         for _ in 0..iterations {
             let mut next = vec![0.0f64; n];

@@ -139,11 +139,11 @@ impl SybilRank {
         let iterations = self
             .config
             .iterations
-            .unwrap_or_else(|| (n.max(2) as f64).log2().ceil() as usize);
+            .unwrap_or_else(|| (n.max(2) as f64).log2().ceil() as usize); // xtask-allow: lossy-cast: n < 2^53 converts exactly; ceil(log2 n) is a small non-negative integer
 
         let mut trust = vec![0.0f64; n];
         for s in seeds {
-            trust[s.index()] += self.config.total_trust / seeds.len() as f64;
+            trust[s.index()] += self.config.total_trust / seeds.len() as f64; // xtask-allow: lossy-cast: seed count < 2^53 converts exactly
         }
         for _ in 0..iterations {
             let mut next = vec![0.0f64; n];
@@ -154,7 +154,7 @@ impl SybilRank {
                     next[u.index()] += trust[u.index()];
                     continue;
                 }
-                let share = trust[u.index()] / deg as f64;
+                let share = trust[u.index()] / deg as f64; // xtask-allow: lossy-cast: degree < 2^53 converts exactly
                 for &v in g.neighbors(u) {
                     next[v.index()] += share;
                 }
@@ -168,7 +168,7 @@ impl SybilRank {
                 if deg == 0 {
                     0.0
                 } else {
-                    trust[i] / deg as f64
+                    trust[i] / deg as f64 // xtask-allow: lossy-cast: degree < 2^53 converts exactly
                 }
             })
             .collect();

@@ -95,7 +95,8 @@ impl RequestGraph {
 
     /// Iterator over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.out.len() as u32).map(NodeId)
+        let n = u32::try_from(self.out.len()).expect("node ids fit in u32");
+        (0..n).map(NodeId)
     }
 }
 

@@ -59,9 +59,8 @@ impl VoteTrustRanking {
         let mut idx: Vec<usize> = (0..self.ratings.len()).collect();
         idx.sort_by(|&a, &b| {
             self.ratings[a]
-                .partial_cmp(&self.ratings[b])
-                .expect("finite ratings")
-                .then(self.votes[a].partial_cmp(&self.votes[b]).expect("finite votes"))
+                .total_cmp(&self.ratings[b])
+                .then(self.votes[a].total_cmp(&self.votes[b]))
                 .then(a.cmp(&b))
         });
         idx.into_iter().take(n).map(NodeId::from_index).collect()
@@ -116,11 +115,11 @@ impl VoteTrust {
         }
         let eps = self.config.restart_smoothing;
         let restart: Vec<f64> = if trusted_seeds.is_empty() {
-            vec![1.0 / n as f64; n]
+            vec![1.0 / n as f64; n] // xtask-allow: lossy-cast: node count < 2^53 converts exactly
         } else {
-            let mut r = vec![eps / n as f64; n];
+            let mut r = vec![eps / n as f64; n]; // xtask-allow: lossy-cast: node count < 2^53 converts exactly
             for s in trusted_seeds {
-                r[s.index()] += (1.0 - eps) / trusted_seeds.len() as f64;
+                r[s.index()] += (1.0 - eps) / trusted_seeds.len() as f64; // xtask-allow: lossy-cast: seed count < 2^53 converts exactly
             }
             r
         };
@@ -135,7 +134,7 @@ impl VoteTrust {
                 if outs.is_empty() {
                     dangling += mass;
                 } else {
-                    let share = mass / outs.len() as f64;
+                    let share = mass / outs.len() as f64; // xtask-allow: lossy-cast: out-degree < 2^53 converts exactly
                     for &(t, _) in outs {
                         next[t.index()] += share;
                     }

@@ -1,0 +1,17 @@
+//~ crate: dataflow
+//~ path: crates/dataflow/src/worker_fixture.rs
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex; //~ expect: channel-discipline
+
+pub fn drain(rx: &Receiver<u64>) -> u64 {
+    let mut total = 0u64;
+    while let Ok(v) = rx.recv() { //~ expect: channel-discipline
+        total += v;
+    }
+    total
+}
+
+pub fn guard(m: &Mutex<u64>) -> u64 { //~ expect: channel-discipline
+    *m.lock().expect("poisoned lock means a peer already panicked")
+}

@@ -1,0 +1,22 @@
+//~ crate: dataflow
+//~ path: crates/dataflow/src/cluster.rs
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub fn drain(rx: &Receiver<u64>) -> u64 {
+    let mut total = 0u64;
+    while let Ok(v) = rx.recv_timeout(Duration::from_millis(50)) {
+        total += v;
+    }
+    total
+}
+
+pub fn worker_loop(rx: &Receiver<u64>) -> u64 {
+    rx.recv().expect("master holds the sender for the worker's lifetime") // xtask-allow: channel-discipline: worker parks until the master sends or hangs up
+}
+
+pub fn guard(m: &Mutex<u64>) -> u64 {
+    *m.lock().expect("poisoned lock means a peer already panicked")
+}

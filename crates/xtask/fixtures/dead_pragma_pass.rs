@@ -1,0 +1,6 @@
+//~ crate: rejection
+//~ path: crates/rejection/src/fixture.rs
+
+pub fn take(opt: Option<u64>) -> u64 {
+    opt.unwrap() // xtask-allow: no-unwrap: fixture exercises the live-pragma path
+}

@@ -1,0 +1,6 @@
+//~ crate: rejection
+//~ path: crates/rejection/src/lib.rs
+//~ root
+//~ expect: forbid-unsafe@1
+
+pub fn noop() {}

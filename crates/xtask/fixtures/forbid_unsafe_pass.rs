@@ -1,0 +1,7 @@
+//~ crate: rejection
+//~ path: crates/rejection/src/lib.rs
+//~ root
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

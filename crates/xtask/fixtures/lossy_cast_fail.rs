@@ -1,0 +1,11 @@
+//~ crate: kl
+//~ path: crates/kl/src/fixture.rs
+//~ expect: lossy-cast@10
+
+pub fn truncating(node: u64) -> u32 {
+    node as u32 //~ expect: lossy-cast
+}
+
+pub fn reasonless(gain: i64) -> usize {
+    gain as usize // xtask-allow: lossy-cast
+}

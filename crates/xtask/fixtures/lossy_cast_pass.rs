@@ -1,0 +1,23 @@
+//~ crate: kl
+//~ path: crates/kl/src/fixture.rs
+
+pub fn widening(node: u32) -> u64 {
+    u64::from(node)
+}
+
+pub fn checked(gain: i64) -> usize {
+    usize::try_from(gain).expect("gain is non-negative here")
+}
+
+pub fn reasoned(node: u32) -> usize {
+    node as usize // xtask-allow: lossy-cast: usize is at least 32 bits on every supported target
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_in_tests_are_exempt() {
+        let x = 7u64 as u32;
+        assert_eq!(x, 7);
+    }
+}

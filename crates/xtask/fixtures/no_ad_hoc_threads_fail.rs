@@ -1,0 +1,7 @@
+//~ crate: eval
+//~ path: crates/eval/src/fixture.rs
+
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 42); //~ expect: no-ad-hoc-threads
+    let _ = h.join();
+}

@@ -1,0 +1,9 @@
+//~ crate: core
+//~ path: crates/core/src/pool.rs
+
+pub fn pooled() {
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+}
+
+pub const DOC: &str = "std::thread::spawn belongs in the pool modules";

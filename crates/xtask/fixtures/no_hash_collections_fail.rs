@@ -1,0 +1,13 @@
+//~ crate: socialgraph
+//~ path: crates/socialgraph/src/fixture.rs
+
+use std::collections::HashMap; //~ expect: no-hash-collections
+use std::collections::HashSet; //~ expect: no-hash-collections
+
+pub fn degree_index(edges: &[(u32, u32)]) -> HashMap<u32, u32> { //~ expect: no-hash-collections
+    let mut m = HashMap::new(); //~ expect: no-hash-collections
+    for &(u, _) in edges {
+        *m.entry(u).or_insert(0) += 1;
+    }
+    m
+}

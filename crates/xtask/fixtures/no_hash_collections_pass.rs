@@ -1,0 +1,15 @@
+//~ crate: socialgraph
+//~ path: crates/socialgraph/src/fixture.rs
+
+use std::collections::BTreeMap;
+
+/* A nested /* block comment */ mentioning HashMap stays a comment. */
+pub fn degree_index(edges: &[(u32, u32)]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for &(u, _) in edges {
+        *m.entry(u).or_insert(0) += 1;
+    }
+    m
+}
+
+pub const DOC: &str = "HashMap is banned in kernels";

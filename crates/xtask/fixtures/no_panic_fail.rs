@@ -1,0 +1,17 @@
+//~ crate: dataflow
+//~ path: crates/dataflow/src/fixture.rs
+
+pub fn explode(x: u64) -> u64 {
+    if x == 0 {
+        panic!("zero"); //~ expect: no-panic
+    }
+    if x == 1 {
+        todo!(); //~ expect: no-panic
+    }
+    if x == 2 {
+        unreachable!() //~ expect: no-panic
+    } else {
+        assert!(x > 2); //~ expect: no-panic
+        x
+    }
+}

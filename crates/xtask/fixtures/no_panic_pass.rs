@@ -1,0 +1,36 @@
+//~ crate: dataflow
+//~ path: crates/dataflow/src/fixture.rs
+
+pub fn degrade(x: u64) -> Result<u64, String> {
+    debug_assert!(x < 1_000_000, "caller pre-validates ids");
+    if x == 0 {
+        return Err("zero is not a valid worker id".to_string());
+    }
+    Ok(x)
+}
+
+pub fn cold_validation(x: u64) -> u64 {
+    assert!(x > 0, "validated once at startup"); // xtask-allow: no-panic: cold constructor validation, not a runtime path
+    x
+}
+
+pub fn exhaustive(tag: u8) -> &'static str {
+    match tag {
+        0 => "map",
+        1 => "reduce",
+        _ => unreachable!("tag is validated against the opcode table at decode time"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_assert_and_panic() {
+        assert!(degrade(3).is_ok());
+        if degrade(0).is_ok() {
+            panic!("tests may panic");
+        }
+    }
+}

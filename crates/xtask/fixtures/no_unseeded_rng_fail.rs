@@ -1,0 +1,7 @@
+//~ crate: simulator
+//~ path: crates/simulator/src/fixture.rs
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng(); //~ expect: no-unseeded-rng
+    rand::Rng::gen(&mut rng)
+}

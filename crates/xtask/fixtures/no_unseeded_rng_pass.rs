@@ -1,0 +1,10 @@
+//~ crate: simulator
+//~ path: crates/simulator/src/fixture.rs
+
+use rand::SeedableRng;
+
+pub fn seeded(seed: u64) -> rand_chacha::ChaCha8Rng {
+    rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+}
+
+pub const BANNED: &str = "thread_rng";

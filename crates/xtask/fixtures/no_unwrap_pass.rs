@@ -1,0 +1,10 @@
+//~ crate: rejection
+//~ path: crates/rejection/src/fixture.rs
+
+pub fn take(opt: Option<u64>) -> u64 {
+    opt.expect("caller checked membership before lookup")
+}
+
+pub fn doc() -> &'static str {
+    "library code must never call .unwrap() on user input"
+}

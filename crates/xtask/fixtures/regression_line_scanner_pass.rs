@@ -1,0 +1,27 @@
+//~ crate: kl
+//~ path: crates/kl/src/fixture.rs
+
+/* The PR 2 line scanner mis-lexed every construct in this file.
+   /* Nested block comments: HashMap, .unwrap(), thread_rng(). */
+   Still inside the outer comment after the inner one closes. */
+
+pub fn messages() -> Vec<&'static str> {
+    vec![
+        "never call .unwrap() in kernels",
+        "HashMap is banned; so is HashSet",
+        "thread_rng() breaks reproducibility",
+        "std::thread::spawn must go through the pool",
+    ]
+}
+
+pub fn raw(pattern: &str) -> String {
+    let doc = r#"interior quote " then .unwrap() and HashMap<u32, u32>"#;
+    format!("{doc}: {pattern}")
+}
+
+pub fn tricky_chars() -> (char, char) {
+    let quote = '"';
+    let slash = '/';
+    // A lifetime 'a next to a char whose body opens a comment: '/'
+    (quote, slash)
+}

@@ -1,0 +1,168 @@
+//! `cargo xtask check --fix-dry-run`: the mechanically fixable subset.
+//!
+//! Some diagnostics have exactly one idiomatic rewrite — no judgement
+//! call, no behavior question for finite inputs. This pass lists those
+//! sites *without editing anything*, so cleanups stay discoverable (the
+//! float-determinism rule only covers [`crate::lint::FLOAT_CRATES`];
+//! this scan is repo-wide, which is how the next crate's migration gets
+//! scoped before the rule is turned on for it).
+//!
+//! Detected rewrites:
+//!
+//! * `.partial_cmp(x).expect(..)` / `.unwrap()` / `.unwrap_or(..)`
+//!   → `.total_cmp(x)` — identical ordering for the finite, like-signed
+//!   values these comparators see, and a total order besides.
+//! * `.sum::<f64>()` / `.sum::<f32>()`
+//!   → `socialgraph::det::ordered_sum(..)` — same reduction with the
+//!   iteration-order assertion written down.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One mechanically fixable site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixCandidate {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What was found, compressed to the interesting tokens.
+    pub found: String,
+    /// The drop-in replacement.
+    pub suggestion: String,
+}
+
+/// Scans one file for fixable sites. Lines carrying an `xtask-allow:`
+/// pragma are skipped: a pragma'd site is an adjudicated decision, not a
+/// pending cleanup.
+pub fn scan_file(rel_path: &str, text: &str) -> Vec<FixCandidate> {
+    let all = lex(text);
+    let pragma_lines: std::collections::BTreeSet<usize> = all
+        .iter()
+        .filter(|t| t.kind == TokenKind::LineComment && t.text.contains("xtask-allow:"))
+        .map(|t| t.line)
+        .collect();
+    let sig: Vec<Token<'_>> =
+        all.into_iter().filter(|t| t.kind.is_significant()).collect();
+    let mut out = Vec::new();
+
+    let ident = |i: usize| -> Option<&str> {
+        match sig.get(i) {
+            Some(t) if t.kind == TokenKind::Ident => Some(t.text),
+            _ => None,
+        }
+    };
+    let punct =
+        |i: usize, ch: &str| matches!(sig.get(i), Some(t) if t.kind == TokenKind::Punct && t.text == ch);
+
+    for i in 0..sig.len() {
+        // `.partial_cmp ( … ) . <sink> (` where sink discards the None arm.
+        if punct(i, ".") && ident(i + 1) == Some("partial_cmp") && punct(i + 2, "(") {
+            if let Some(close) = matching_paren(&sig, i + 2) {
+                if punct(close + 1, ".") {
+                    if let Some(sink @ ("expect" | "unwrap" | "unwrap_or")) = ident(close + 2) {
+                        out.push(FixCandidate {
+                            file: rel_path.to_string(),
+                            line: sig[i + 1].line,
+                            found: format!(".partial_cmp(..).{sink}(..)"),
+                            suggestion: ".total_cmp(..)".to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        // `.sum::<fN>()` — order-silent float reduction.
+        if punct(i, ".")
+            && matches!(ident(i + 1), Some("sum" | "product"))
+            && punct(i + 2, ":")
+            && punct(i + 3, ":")
+            && punct(i + 4, "<")
+        {
+            if let Some(ty @ ("f32" | "f64")) = ident(i + 5) {
+                let call = ident(i + 1).unwrap_or("sum").to_string();
+                out.push(FixCandidate {
+                    file: rel_path.to_string(),
+                    line: sig[i + 1].line,
+                    found: format!(".{call}::<{ty}>()"),
+                    suggestion: "socialgraph::det::ordered_sum(..)".to_string(),
+                });
+            }
+        }
+    }
+    out.retain(|c| !pragma_lines.contains(&c.line));
+    out
+}
+
+/// Index of the `)` matching the `(` at `open`, if balanced.
+fn matching_paren(sig: &[Token<'_>], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in sig.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            match t.text {
+                "(" => depth += 1,
+                ")" => {
+                    depth = depth.checked_sub(1)?;
+                    if depth == 0 {
+                        return Some(k);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_cmp_expect_chain_is_fixable() {
+        let src = "v.sort_by(|a, b| b.0.partial_cmp(&a.0).expect(\"finite ratios\").then(a.1.cmp(&b.1)));\n";
+        let got = scan_file("x.rs", src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].found, ".partial_cmp(..).expect(..)");
+        assert_eq!(got[0].suggestion, ".total_cmp(..)");
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_or_chain_is_fixable() {
+        let src = "idx.sort_by(|&a, &b| s[a].partial_cmp(&s[b]).unwrap_or(std::cmp::Ordering::Equal));\n";
+        let got = scan_file("x.rs", src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].found, ".partial_cmp(..).unwrap_or(..)");
+    }
+
+    #[test]
+    fn lone_partial_cmp_is_not_mechanically_fixable() {
+        // Without a None-discarding sink the rewrite changes the type;
+        // that is a judgement call, not a mechanical fix.
+        let src = "let ord = a.partial_cmp(&b);\n";
+        assert!(scan_file("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_sum_turbofish_is_fixable() {
+        let src = "let s = xs.iter().sum::<f64>();\n";
+        let got = scan_file("x.rs", src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].found, ".sum::<f64>()");
+    }
+
+    #[test]
+    fn integer_sum_is_not_fixable() {
+        assert!(scan_file("x.rs", "let s = xs.iter().sum::<u64>();\n").is_empty());
+    }
+
+    #[test]
+    fn pragmad_sites_are_not_listed() {
+        let src = "let s = xs.iter().sum::<f64>(); // xtask-allow: float-determinism: sequential over a Vec\n";
+        assert!(scan_file("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sites_in_strings_are_ignored() {
+        let src = "let doc = \"call .partial_cmp(x).unwrap() and .sum::<f64>()\";\n";
+        assert!(scan_file("x.rs", src).is_empty());
+    }
+}
