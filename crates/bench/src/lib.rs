@@ -26,7 +26,7 @@ use std::path::PathBuf;
 pub use rejecto::pipeline::{self, PipelineConfig};
 
 /// Command-line / environment configuration shared by all harness binaries.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Harness {
     /// Experiment name (output file stem).
     pub name: String,
@@ -37,6 +37,9 @@ pub struct Harness {
     pub seed: u64,
     /// Output directory for JSON rows.
     pub out_dir: PathBuf,
+    /// Run metrics, written next to the rows by [`Harness::emit`] as
+    /// `results/<name>.metrics.json` (rejecto-metrics/v1).
+    pub obs: rejecto_obs::Obs,
 }
 
 impl Harness {
@@ -82,6 +85,7 @@ impl Harness {
             scale,
             seed,
             out_dir: PathBuf::from("results"),
+            obs: rejecto_obs::Obs::default(),
         }
     }
 
@@ -99,7 +103,7 @@ impl Harness {
     /// supplied overrides.
     pub fn simulate(&self, host: &Graph, mut cfg: ScenarioConfig) -> SimOutput {
         cfg.num_fakes = self.n(cfg.num_fakes);
-        Scenario::new(cfg).run(host, self.seed)
+        Scenario::new(cfg).run_observed(host, self.seed, &self.obs)
     }
 
     /// Prints the table and writes `results/<name>.json`.
@@ -118,6 +122,12 @@ impl Harness {
             writeln!(f, "{line}").expect("cannot write results file");
         }
         eprintln!("[wrote {}]", path.display());
+
+        let metrics_path = self.out_dir.join(format!("{}.metrics.json", self.name));
+        let mut doc = self.obs.to_json();
+        doc.push('\n');
+        std::fs::write(&metrics_path, doc).expect("cannot write metrics file");
+        eprintln!("[wrote {}]", metrics_path.display());
     }
 }
 
@@ -254,6 +264,7 @@ mod tests {
             scale: 0.015,
             seed: 1,
             out_dir: PathBuf::from("/tmp"),
+            obs: rejecto_obs::Obs::default(),
         };
         assert_eq!(h.n(10_000), 150);
         assert_eq!(h.n(10), 1);
@@ -266,6 +277,7 @@ mod tests {
             scale: 0.02,
             seed: 7,
             out_dir: PathBuf::from("/tmp"),
+            obs: rejecto_obs::Obs::default(),
         };
         let rows = sweep(&h, Surrogate::Synthetic, "requests", &[5.0, 10.0], |x| {
             ScenarioConfig {

@@ -207,12 +207,23 @@ impl LoopState {
 #[derive(Debug, Clone)]
 pub struct IterativeDetector {
     solver: MaarSolver,
+    obs: Option<rejecto_obs::Obs>,
 }
 
 impl IterativeDetector {
     /// Creates a detector with the given configuration.
     pub fn new(config: RejectoConfig) -> Self {
-        IterativeDetector { solver: MaarSolver::new(config) }
+        IterativeDetector { solver: MaarSolver::new(config), obs: None }
+    }
+
+    /// Attaches a metrics registry shared by the pruning loop, the sweep
+    /// workers, and the KL passes underneath. Spans
+    /// (`detect > round > sweep > k_index > kl_pass`), the `detect/rounds`
+    /// counter, and the `detect/checkpoint_bytes` histogram are
+    /// deterministic; the token's cancellation polls are absorbed into the
+    /// volatile `cancel/polls` counter when the run returns.
+    pub fn set_obs(&mut self, obs: rejecto_obs::Obs) {
+        self.obs = Some(obs);
     }
 
     /// The underlying MAAR solver.
@@ -343,8 +354,14 @@ impl IterativeDetector {
         if let Some(passes) = config.budget.max_kl_passes {
             token.set_pass_budget(passes);
         }
-        let mut ctx = RunContext { token: token.clone(), injector: injector.clone(), round: 0 };
+        let mut ctx = RunContext {
+            token: token.clone(),
+            injector: injector.clone(),
+            round: 0,
+            obs: self.obs.clone(),
+        };
         let mut completion = Completion::Complete;
+        let _detect_span = self.obs.as_ref().map(|o| o.span("detect"));
 
         while report.rounds < max_rounds {
             if let Some(limit) = config.budget.max_rounds {
@@ -390,6 +407,7 @@ impl IterativeDetector {
             let spammer = map(&seeds.spammer);
 
             ctx.round = report.rounds;
+            let _round_span = self.obs.as_ref().map(|o| o.span("detect/round"));
             let outcome = self.solver.solve_monitored(&current, &legit, &spammer, &ctx);
             report.failures.extend(outcome.failures);
             if outcome.interrupted {
@@ -402,6 +420,12 @@ impl IterativeDetector {
                     reason: interrupt_reason(&token),
                 };
                 break;
+            }
+            // The round ran its sweep to completion — interrupted rounds
+            // (deadline, pass budget) are scheduling-dependent and must
+            // not reach the deterministic counters.
+            if let Some(obs) = &self.obs {
+                obs.incr("detect/rounds", 1);
             }
             let Some(cut) = outcome.cut else {
                 break;
@@ -436,6 +460,11 @@ impl IterativeDetector {
 
             if let Some(write) = sink.as_mut() {
                 let ckpt = Checkpoint::capture(g, &report);
+                if let Some(obs) = &self.obs {
+                    let bytes = u64::try_from(ckpt.to_json().len())
+                        .expect("checkpoint size fits in u64");
+                    obs.record("detect/checkpoint_bytes", bytes);
+                }
                 let result = if injector.should_fail_checkpoint(report.rounds) {
                     Err(io::Error::other("injected checkpoint I/O error"))
                 } else {
@@ -448,6 +477,9 @@ impl IterativeDetector {
                     });
                 }
             }
+        }
+        if let Some(obs) = &self.obs {
+            obs.volatile_incr("cancel/polls", token.polls());
         }
         report.completion = completion;
         report

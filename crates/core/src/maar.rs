@@ -161,16 +161,24 @@ impl MaarSolver {
     ) -> SweepOutcome {
         let cap = self.suspect_cap(g.num_nodes());
         let ks = self.config.k_sweep();
+        let _sweep_span = ctx.obs.as_ref().map(|o| o.span("detect/round/sweep"));
         let solve_one = |i: usize| -> KResult {
             if ctx.injector.should_panic(i) {
                 trigger_injected_panic(i);
             }
+            // Opened only after the injection probe: a detonated worker
+            // must record nothing, so its deterministic serial retry leaves
+            // the metrics identical to a clean run's.
+            let _k_span = ctx.obs.as_ref().map(|o| o.span("detect/round/sweep/k_index"));
             let k = ks[i];
             let mut kl = ExtendedKl::new(
                 g,
                 ExtendedKlConfig { k, max_passes: self.config.max_kl_passes },
             );
             kl.set_cancel(ctx.token.clone());
+            if let Some(obs) = &ctx.obs {
+                kl.set_obs(obs.clone());
+            }
             for &s in legit_seeds.iter().chain(spammer_seeds) {
                 kl.lock(s);
             }

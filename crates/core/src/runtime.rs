@@ -103,6 +103,9 @@ pub(crate) struct RunContext {
     pub(crate) token: kl::CancelToken,
     pub(crate) injector: crate::faults::FaultInjector,
     pub(crate) round: usize,
+    /// Metrics registry shared by the pruning loop and every sweep worker;
+    /// `None` keeps the unmonitored hot path allocation-free.
+    pub(crate) obs: Option<rejecto_obs::Obs>,
 }
 
 impl RunContext {
@@ -113,6 +116,7 @@ impl RunContext {
             token: kl::CancelToken::new(),
             injector: crate::faults::FaultInjector::new(&crate::faults::FaultPlan::default()),
             round: 0,
+            obs: None,
         }
     }
 }

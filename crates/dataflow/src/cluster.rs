@@ -38,7 +38,7 @@ use rejecto_core::{
 use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 const LEGIT: u8 = 0;
 const SUSPECT: u8 = 1;
@@ -140,6 +140,9 @@ pub struct IoStats {
     /// Shards merged onto a survivor after a worker failed persistently
     /// (graceful degradation past the respawn budget).
     pub shards_rebalanced: u64,
+    /// Injected or real hangs the watchdog timed out and recovered from
+    /// (each one burned a deadline budget before the respawn ladder ran).
+    pub hangs_absorbed: u64,
 }
 
 impl IoStats {
@@ -157,6 +160,7 @@ impl IoStats {
             init_jobs,
             worker_restarts,
             shards_rebalanced,
+            hangs_absorbed,
         } = *other;
         self.fetch_batches += fetch_batches;
         self.nodes_fetched += nodes_fetched;
@@ -165,6 +169,7 @@ impl IoStats {
         self.init_jobs += init_jobs;
         self.worker_restarts += worker_restarts;
         self.shards_rebalanced += shards_rebalanced;
+        self.hangs_absorbed += hangs_absorbed;
     }
 }
 
@@ -602,6 +607,14 @@ impl Cluster {
     ) -> Result<Response, ClusterError> {
         let mut attempt: usize = 0;
         loop {
+            // Every attempt gets ONE watchdog interval as its total
+            // blocking budget. Draining a stale in-flight response and
+            // waiting for the fresh one draw from the same budget — the
+            // waits used to each burn a full interval, stacking past
+            // `ClusterConfig::request_deadline` when recovering a hang.
+            let budget = self.watchdog.get();
+            let clock = rejecto_obs::Stopwatch::start();
+            let left = || budget.saturating_sub(clock.elapsed());
             // Injected death: the target dies before it can see the
             // request (and keeps dying on respawn while the schedule has
             // deaths left).
@@ -610,6 +623,10 @@ impl Cluster {
                 self.fail_worker(wi);
             }
             let hang = self.pending_hangs.get() > 0;
+            if hang {
+                self.pending_hangs.set(self.pending_hangs.get() - 1);
+                io.hangs_absorbed += 1;
+            }
             let outcome = {
                 let mut workers = self.workers.borrow_mut();
                 let w = &mut workers[wi];
@@ -617,9 +634,8 @@ impl Cluster {
                     // The request (or the in-flight response) is lost in
                     // the simulated network; nothing will come back and
                     // only the watchdog below can tell.
-                    self.pending_hangs.set(self.pending_hangs.get() - 1);
                     if w.pending {
-                        let _ = w.rx.recv_timeout(self.watchdog.get());
+                        let _ = w.rx.recv_timeout(left());
                         w.pending = false;
                     }
                     true
@@ -635,7 +651,7 @@ impl Cluster {
                     }
                 };
                 if sent && !hang {
-                    match w.rx.recv_timeout(self.watchdog.get()) {
+                    match w.rx.recv_timeout(left()) {
                         Ok(resp) => {
                             w.pending = false;
                             Some(resp)
@@ -643,8 +659,9 @@ impl Cluster {
                         Err(_) => None,
                     }
                 } else if sent {
-                    // The swallowed request: wait the watchdog out.
-                    match w.rx.recv_timeout(self.watchdog.get()) {
+                    // The swallowed request: wait out whatever is left of
+                    // this attempt's watchdog budget.
+                    match w.rx.recv_timeout(left()) {
                         Ok(_) | Err(_) => None,
                     }
                 } else {
@@ -655,8 +672,10 @@ impl Cluster {
                 return Ok(resp);
             }
             if attempt < self.max_respawns {
-                // Deterministic exponential backoff before the respawn.
-                let pause = self.backoff_base.saturating_mul(1u32 << attempt.min(16));
+                // Deterministic exponential backoff before the respawn,
+                // never longer than one watchdog interval.
+                let pause =
+                    self.backoff_base.saturating_mul(1u32 << attempt.min(16)).min(budget);
                 if !pause.is_zero() {
                     std::thread::sleep(pause);
                 }
@@ -889,12 +908,22 @@ pub struct DistributedOutcome {
 pub struct DistributedMaar {
     cluster_config: ClusterConfig,
     rejecto: RejectoConfig,
+    obs: Option<rejecto_obs::Obs>,
 }
 
 impl DistributedMaar {
     /// Creates a solver.
     pub fn new(cluster_config: ClusterConfig, rejecto: RejectoConfig) -> Self {
-        DistributedMaar { cluster_config, rejecto }
+        DistributedMaar { cluster_config, rejecto, obs: None }
+    }
+
+    /// Attaches a metrics registry. The distributed sweep records the same
+    /// deterministic span/counter vocabulary as the single-process solver
+    /// (`detect/round/sweep/...`, `kl/passes`, `kl/moves_committed`,
+    /// `kl/bucket_adjusts`), so worker count is invisible outside the
+    /// `timings` section.
+    pub fn set_obs(&mut self, obs: rejecto_obs::Obs) {
+        self.obs = Some(obs);
     }
 
     /// The cluster sizing this solver spawns with.
@@ -994,9 +1023,10 @@ impl DistributedMaar {
         placement: InitialPlacement,
         token: &CancelToken,
     ) -> Result<DistributedOutcome, RuntimeError> {
-        let start = Instant::now();
+        let start = rejecto_obs::Stopwatch::start();
         let mut io = IoStats::default();
         let faults = cluster.faults_handle();
+        let _sweep_span = self.obs.as_ref().map(|o| o.span("detect/round/sweep"));
 
         // Warm start needs per-node (degree, rejections) — an RDD job. As
         // in the single-process solver, the warm suspect set is capped at
@@ -1072,6 +1102,7 @@ impl DistributedMaar {
             if faults.take_hang(idx) {
                 cluster.arm_hang(1);
             }
+            let _k_span = self.obs.as_ref().map(|o| o.span("detect/round/sweep/k_index"));
             let Some((regions, cf, cr)) =
                 self.run_kl(cluster, num_nodes, &warm, &locked, k, gain_bound, &mut buffer, token, &mut io)?
             else {
@@ -1153,11 +1184,17 @@ impl DistributedMaar {
         let den = k.den() as i64;
         let mut regions = Arc::new(warm.to_vec());
         let (mut cf, mut cr) = cluster.cut_counts(&regions, io)?;
+        let mut passes_run = 0u64;
+        let mut moves_committed = 0u64;
+        let mut bucket_adjusts = 0u64;
 
         for _pass in 0..self.rejecto.max_kl_passes {
             if !token.consume_pass() {
                 return Ok(None);
             }
+            passes_run += 1;
+            let _pass_span =
+                self.obs.as_ref().map(|o| o.span("detect/round/sweep/k_index/kl_pass"));
             // Tentative state for this pass.
             let mut tmp: Vec<u8> = regions.as_ref().clone();
             let gains = cluster.init_gains(&regions, k, io)?;
@@ -1204,6 +1241,7 @@ impl DistributedMaar {
                         if bucket.contains(v) {
                             let t = if tmp[v as usize] == from { 1 } else { -1 };
                             bucket.adjust(v, 2 * den * t);
+                            bucket_adjusts += 1;
                         }
                     }
                     for &v in &data.rejected_by {
@@ -1211,6 +1249,7 @@ impl DistributedMaar {
                             let da = if now_in == LEGIT { 1 } else { -1 };
                             let s_v = if tmp[v as usize] == LEGIT { 1 } else { -1 };
                             bucket.adjust(v, num * s_v * da);
+                            bucket_adjusts += 1;
                         }
                     }
                     for &v in &data.rejectors_of {
@@ -1218,6 +1257,7 @@ impl DistributedMaar {
                             let db = if now_in == SUSPECT { 1 } else { -1 };
                             let s_v = if tmp[v as usize] == LEGIT { 1 } else { -1 };
                             bucket.adjust(v, -num * s_v * db);
+                            bucket_adjusts += 1;
                         }
                     }
                 }
@@ -1240,8 +1280,17 @@ impl DistributedMaar {
                 committed[u as usize] = 1 - committed[u as usize];
                 cf = cf.checked_add_signed(df).expect("cut counter underflow");
                 cr = cr.checked_add_signed(dr).expect("cut counter underflow");
+                moves_committed += 1;
             }
             regions = Arc::new(committed);
+        }
+        // Flushed only for a k that ran to convergence: a budget-tripped k
+        // is rolled back wholesale (the early return above), so its partial
+        // work must not leak into the deterministic counters either.
+        if let Some(obs) = &self.obs {
+            obs.incr("kl/passes", passes_run);
+            obs.incr("kl/moves_committed", moves_committed);
+            obs.incr("kl/bucket_adjusts", bucket_adjusts);
         }
         Ok(Some((
             Arc::try_unwrap(regions).unwrap_or_else(|a| a.as_ref().clone()),
@@ -1404,6 +1453,7 @@ mod tests {
             init_jobs: 5,
             worker_restarts: 6,
             shards_rebalanced: 7,
+            hangs_absorbed: 8,
         };
         let mut b = IoStats {
             fetch_batches: 10,
@@ -1413,6 +1463,7 @@ mod tests {
             init_jobs: 50,
             worker_restarts: 60,
             shards_rebalanced: 70,
+            hangs_absorbed: 80,
         };
         b.merge(&a);
         assert_eq!(
@@ -1425,6 +1476,7 @@ mod tests {
                 init_jobs: 55,
                 worker_restarts: 66,
                 shards_rebalanced: 77,
+                hangs_absorbed: 88,
             }
         );
         let mut c = IoStats::default();
@@ -1476,6 +1528,8 @@ mod tests {
 #[cfg(test)]
 mod fault_tests {
     use super::*;
+    use std::time::Instant;
+
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use rejecto_core::{FaultPlan, MaarSolver, RejectoConfig, RunBudget};
@@ -1621,6 +1675,41 @@ mod fault_tests {
         assert_eq!(faulted.suspects, clean.suspects, "the hang changed the cut");
         assert_eq!(faulted.acceptance_rate, clean.acceptance_rate);
         assert!(faulted.io.worker_restarts >= 1, "the watchdog must respawn the hung worker");
+    }
+
+    /// Regression test: the hang path of `exchange` used to wait out the
+    /// watchdog twice in one attempt (a full interval draining the stale
+    /// pending response, then another full interval on the swallowed
+    /// request), so a single hang could block the master for 2×
+    /// `request_deadline`. Both waits must draw from one per-attempt
+    /// budget: recovery from one hang may not block much longer than the
+    /// deadline itself.
+    #[test]
+    fn hang_recovery_blocks_at_most_one_request_deadline() {
+        let g = sim_graph();
+        let config = ClusterConfig {
+            request_deadline: Duration::from_millis(200),
+            backoff_base: Duration::ZERO,
+            ..ClusterConfig::default()
+        };
+        let cluster = Cluster::new(&g, &config).expect("valid test config");
+        // The mid-broadcast shape: the request is already in flight
+        // (pending) when the injected hang swallows its response.
+        cluster.workers.borrow_mut()[0].pending = true;
+        cluster.arm_hang(1);
+        let mut io = IoStats::default();
+        let start = Instant::now();
+        let resp = cluster
+            .exchange(0, &|| Request::Stats, &mut io)
+            .expect("one hang is recovered by respawn");
+        let elapsed = start.elapsed();
+        assert!(matches!(resp, Response::Stats { .. }), "recovered request must be served");
+        assert!(io.worker_restarts >= 1, "the watchdog must respawn the hung worker");
+        assert!(
+            elapsed < Duration::from_millis(320),
+            "recovering one hang blocked {elapsed:?}; the waits must share the \
+             200ms per-attempt deadline instead of stacking it"
+        );
     }
 
     #[test]

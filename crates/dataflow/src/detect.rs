@@ -73,6 +73,7 @@ pub struct DistributedDetector {
     solver: DistributedMaar,
     cluster_config: ClusterConfig,
     config: RejectoConfig,
+    obs: Option<rejecto_obs::Obs>,
 }
 
 impl DistributedDetector {
@@ -84,7 +85,20 @@ impl DistributedDetector {
             solver: DistributedMaar::new(cluster_config, config.clone()),
             cluster_config,
             config,
+            obs: None,
         }
+    }
+
+    /// Attaches a metrics registry, shared with the underlying
+    /// [`DistributedMaar`] sweeps. Deterministic spans and counters match
+    /// the single-process detector's vocabulary; the run's aggregate
+    /// [`IoStats`] and cancellation polls are absorbed into the volatile
+    /// `timings` section when the loop returns (they vary with worker
+    /// count and fault schedules, exactly like the `detect_with_io`
+    /// counters).
+    pub fn set_obs(&mut self, obs: rejecto_obs::Obs) {
+        self.solver.set_obs(obs.clone());
+        self.obs = Some(obs);
     }
 
     /// Runs the full pipeline on `g`.
@@ -251,6 +265,7 @@ impl DistributedDetector {
         }
         let mut completion = Completion::Complete;
         let mut total_io = IoStats::default();
+        let _detect_span = self.obs.as_ref().map(|o| o.span("detect"));
 
         while report.rounds < max_rounds {
             if let Some(limit) = config.budget.max_rounds {
@@ -303,6 +318,7 @@ impl DistributedDetector {
             };
             let cluster = Cluster::from_arc(Arc::new(current.clone()), &round_config)?;
             cluster.arm_faults(faults.clone());
+            let _round_span = self.obs.as_ref().map(|o| o.span("detect/round"));
             let outcome = self.solver.solve_monitored_on(
                 &cluster,
                 current.num_nodes(),
@@ -322,6 +338,12 @@ impl DistributedDetector {
                     reason: interrupt_reason(&token),
                 };
                 break;
+            }
+            // Only completed rounds count — same rule as the core
+            // detector, so interrupted (scheduling-dependent) rounds never
+            // reach the deterministic counters.
+            if let Some(obs) = &self.obs {
+                obs.incr("detect/rounds", 1);
             }
             let (Some(ac), Some(k)) = (outcome.acceptance_rate, outcome.k_exact) else {
                 break;
@@ -353,6 +375,11 @@ impl DistributedDetector {
 
             if let Some(write) = sink.as_mut() {
                 let ckpt = Checkpoint::capture(g, &report);
+                if let Some(obs) = &self.obs {
+                    let bytes = u64::try_from(ckpt.to_json().len())
+                        .expect("checkpoint size fits in u64");
+                    obs.record("detect/checkpoint_bytes", bytes);
+                }
                 if let Err(e) = write(&ckpt) {
                     report.failures.push(RuntimeError::CheckpointIo {
                         round: report.rounds,
@@ -361,7 +388,37 @@ impl DistributedDetector {
                 }
             }
         }
+        if let Some(obs) = &self.obs {
+            absorb_io(obs, &total_io);
+            obs.volatile_incr("cancel/polls", token.polls());
+        }
         report.completion = completion;
         Ok((report, total_io))
     }
+}
+
+/// Feeds a run's aggregate [`IoStats`] into the **volatile** section of the
+/// metrics document — every one of these counters varies with worker count
+/// and fault schedules, so none may land next to the byte-compared
+/// counters. The exhaustive destructuring mirrors [`IoStats::merge`]:
+/// adding a field without deciding its metrics path is a compile error.
+fn absorb_io(obs: &rejecto_obs::Obs, io: &IoStats) {
+    let IoStats {
+        fetch_batches,
+        nodes_fetched,
+        buffer_hits,
+        buffer_misses,
+        init_jobs,
+        worker_restarts,
+        shards_rebalanced,
+        hangs_absorbed,
+    } = *io;
+    obs.volatile_incr("io/fetch_batches", fetch_batches);
+    obs.volatile_incr("io/nodes_fetched", nodes_fetched);
+    obs.volatile_incr("io/buffer_hits", buffer_hits);
+    obs.volatile_incr("io/buffer_misses", buffer_misses);
+    obs.volatile_incr("io/init_jobs", init_jobs);
+    obs.volatile_incr("io/worker_restarts", worker_restarts);
+    obs.volatile_incr("io/shards_rebalanced", shards_rebalanced);
+    obs.volatile_incr("io/hangs_absorbed", hangs_absorbed);
 }

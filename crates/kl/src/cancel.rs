@@ -12,7 +12,7 @@
 //! first cause wins, later causes are ignored, so diagnostics stay stable
 //! even when a deadline and a pass budget expire in the same window.
 
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU8, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -41,6 +41,10 @@ struct Inner {
     reason: AtomicU8,
     deadline: Mutex<Option<Instant>>,
     passes_left: AtomicI64,
+    /// How many times [`CancelToken::is_cancelled`] was polled. Scheduling-
+    /// dependent (parallel sweeps poll once per claimed job), so it is only
+    /// ever reported as a *volatile* metric, never a deterministic one.
+    polls: AtomicU64,
 }
 
 /// Shared cooperative-cancellation handle (see module docs).
@@ -66,6 +70,7 @@ impl CancelToken {
                 reason: AtomicU8::new(REASON_NONE),
                 deadline: Mutex::new(None),
                 passes_left: AtomicI64::new(UNLIMITED),
+                polls: AtomicU64::new(0),
             }),
         }
     }
@@ -134,6 +139,7 @@ impl CancelToken {
     /// Whether the token has tripped. Polls the deadline as a side effect,
     /// so a passed deadline is observed here without any timer thread.
     pub fn is_cancelled(&self) -> bool {
+        self.inner.polls.fetch_add(1, Ordering::Relaxed);
         if self.inner.cancelled.load(Ordering::Acquire) {
             return true;
         }
@@ -162,6 +168,13 @@ impl CancelToken {
             .lock()
             .expect("cancel-token deadline mutex poisoned");
         deadline.map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// How many times [`is_cancelled`](CancelToken::is_cancelled) was
+    /// polled across all clones of this token. The count depends on thread
+    /// scheduling, so callers must report it only as a volatile metric.
+    pub fn polls(&self) -> u64 {
+        self.inner.polls.load(Ordering::Relaxed)
     }
 
     /// The first recorded trip cause, or `None` while untripped.
@@ -241,6 +254,16 @@ mod tests {
         assert!(rem > Duration::from_secs(3500), "remaining {rem:?}");
         t.set_deadline_in(Duration::from_millis(0));
         assert_eq!(t.time_remaining(), Some(Duration::ZERO), "passed deadline saturates");
+    }
+
+    #[test]
+    fn poll_count_is_shared_across_clones() {
+        let t = CancelToken::new();
+        assert_eq!(t.polls(), 0);
+        let clone = t.clone();
+        assert!(!t.is_cancelled());
+        assert!(!clone.is_cancelled());
+        assert_eq!(t.polls(), 2, "every clone's poll lands in one counter");
     }
 
     #[test]

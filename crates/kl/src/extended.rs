@@ -87,12 +87,13 @@ pub struct ExtendedKl<'a> {
     cfg: ExtendedKlConfig,
     locked: Vec<bool>,
     cancel: Option<CancelToken>,
+    obs: Option<rejecto_obs::Obs>,
 }
 
 impl<'a> ExtendedKl<'a> {
     /// Creates a solver over `g` with no locked nodes.
     pub fn new(g: &'a AugmentedGraph, cfg: ExtendedKlConfig) -> Self {
-        ExtendedKl { g, cfg, locked: vec![false; g.num_nodes()], cancel: None }
+        ExtendedKl { g, cfg, locked: vec![false; g.num_nodes()], cancel: None, obs: None }
     }
 
     /// Attaches a [`CancelToken`] polled at every pass boundary. Each pass
@@ -101,6 +102,15 @@ impl<'a> ExtendedKl<'a> {
     /// partition committed so far.
     pub fn set_cancel(&mut self, token: CancelToken) {
         self.cancel = Some(token);
+    }
+
+    /// Attaches a metrics registry. Each pass records a
+    /// `detect/round/sweep/k_index/kl_pass` span, and the run flushes
+    /// `kl/passes`, `kl/moves_committed`, and `kl/bucket_adjusts` counters
+    /// on return — all deterministic quantities, so they land in the
+    /// byte-compared section of the metrics document.
+    pub fn set_obs(&mut self, obs: rejecto_obs::Obs) {
+        self.obs = Some(obs);
     }
 
     /// Pins `node` to whatever region the initial partition assigns it;
@@ -160,6 +170,7 @@ impl<'a> ExtendedKl<'a> {
         let bound = self.gain_bound();
         let mut passes = 0usize;
         let mut moves_committed = 0u64;
+        let mut bucket_adjusts = 0u64;
         let mut interrupted = false;
 
         while passes < self.cfg.max_passes {
@@ -170,7 +181,9 @@ impl<'a> ExtendedKl<'a> {
                 }
             }
             passes += 1;
-            let (seq, best_prefix) = self.one_pass(&p, bound);
+            let _pass_span = self.obs.as_ref().map(|o| o.span("detect/round/sweep/k_index/kl_pass"));
+            let (seq, best_prefix, adjusts) = self.one_pass(&p, bound);
+            bucket_adjusts += adjusts;
             match best_prefix {
                 Some(end) => {
                     for &(u, _) in &seq[..=end] {
@@ -182,6 +195,13 @@ impl<'a> ExtendedKl<'a> {
             }
         }
 
+        if let Some(obs) = &self.obs {
+            let passes_u64 =
+                u64::try_from(passes).expect("pass count exceeds u64 range");
+            obs.incr("kl/passes", passes_u64);
+            obs.incr("kl/moves_committed", moves_committed);
+            obs.incr("kl/bucket_adjusts", bucket_adjusts);
+        }
         let objective = self.objective(&p);
         KlOutcome { partition: p, objective, passes, moves_committed, interrupted }
     }
@@ -217,8 +237,9 @@ impl<'a> ExtendedKl<'a> {
     }
 
     /// One greedy pass: returns the full switching sequence with per-move
-    /// gains, and the index of the best strictly positive prefix (if any).
-    fn one_pass(&self, p: &Partition, bound: i64) -> (Vec<(u32, i64)>, Option<usize>) {
+    /// gains, the index of the best strictly positive prefix (if any), and
+    /// the number of incremental gain-bucket adjustments performed.
+    fn one_pass(&self, p: &Partition, bound: i64) -> (Vec<(u32, i64)>, Option<usize>, u64) {
         let g = self.g;
         let num = obj_i64(self.cfg.k.num());
         let den = obj_i64(self.cfg.k.den());
@@ -233,6 +254,7 @@ impl<'a> ExtendedKl<'a> {
         self.assert_gain_index(&p_tmp, &bucket);
 
         let mut seq: Vec<(u32, i64)> = Vec::with_capacity(bucket.len());
+        let mut adjusts = 0u64;
         while let Some((u, gain)) = bucket.pop_max() {
             let u_id = NodeId(u);
             debug_assert_eq!(
@@ -250,6 +272,7 @@ impl<'a> ExtendedKl<'a> {
                 if bucket.contains(v.0) {
                     let t = if p_tmp.region(v) == from { 1 } else { -1 };
                     bucket.adjust(v.0, 2 * den * t);
+                    adjusts += 1;
                 }
             }
             // u rejected v  ⇒  u is a rejector of v: v's "rejectors in
@@ -259,6 +282,7 @@ impl<'a> ExtendedKl<'a> {
                     let da = if now_in == Region::Legit { 1 } else { -1 };
                     let s_v = if p_tmp.region(v) == Region::Legit { 1 } else { -1 };
                     bucket.adjust(v.0, num * s_v * da);
+                    adjusts += 1;
                 }
             }
             // v rejected u  ⇒  u is in v's rejected set: v's "rejectees in
@@ -268,6 +292,7 @@ impl<'a> ExtendedKl<'a> {
                     let db = if now_in == Region::Suspect { 1 } else { -1 };
                     let s_v = if p_tmp.region(v) == Region::Legit { 1 } else { -1 };
                     bucket.adjust(v.0, -num * s_v * db);
+                    adjusts += 1;
                 }
             }
             #[cfg(feature = "debug-invariants")]
@@ -285,7 +310,7 @@ impl<'a> ExtendedKl<'a> {
                 best = Some(i);
             }
         }
-        (seq, best)
+        (seq, best, adjusts)
     }
 }
 
@@ -384,6 +409,23 @@ mod tests {
         let out = kl.run(Partition::all_legit(&g));
         assert!(out.passes >= 1);
         assert!(out.moves_committed >= 3);
+    }
+
+    #[test]
+    fn obs_counters_match_the_reported_outcome() {
+        let g = spam_scenario();
+        let mut kl = solver(&g, 1, 1);
+        let obs = rejecto_obs::Obs::new();
+        kl.set_obs(obs.clone());
+        let out = kl.run(Partition::all_legit(&g));
+        let passes = u64::try_from(out.passes).expect("tiny pass count");
+        assert_eq!(obs.counter("kl/passes"), passes);
+        assert_eq!(obs.counter("kl/moves_committed"), out.moves_committed);
+        assert_eq!(obs.span_count("detect/round/sweep/k_index/kl_pass"), passes);
+        assert!(
+            obs.counter("kl/bucket_adjusts") > 0,
+            "a committing run must have adjusted neighbor gains"
+        );
     }
 
     #[test]

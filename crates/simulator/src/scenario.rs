@@ -166,6 +166,19 @@ impl Scenario {
     /// Simulates the attack on `host` (its nodes are the legitimate users),
     /// deterministically from `seed`.
     pub fn run(&self, host: &Graph, seed: u64) -> SimOutput {
+        self.run_impl(host, seed, None)
+    }
+
+    /// [`Scenario::run`], recording the attack generator's volumes
+    /// (`sim/spam_requests`, `sim/intra_fake_edges`, ...) into `obs`. The
+    /// simulation is single-threaded and seed-deterministic, so every
+    /// counter is deterministic and lands in the byte-compared section.
+    pub fn run_observed(&self, host: &Graph, seed: u64, obs: &rejecto_obs::Obs) -> SimOutput {
+        self.run_impl(host, seed, Some(obs))
+    }
+
+    fn run_impl(&self, host: &Graph, seed: u64, obs: Option<&rejecto_obs::Obs>) -> SimOutput {
+        let _sim_span = obs.map(|o| o.span("simulate"));
         let cfg = &self.config;
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let num_legit = host.num_nodes();
@@ -177,6 +190,7 @@ impl Scenario {
         // random) — over time both parties of a friendship circle initiate,
         // and this keeps every user's sent-request count near deg/2 instead
         // of leaving a Binomial tail of users who "never sent anything".
+        let mut host_accepted_edges = 0u64;
         let mut sent_count = vec![0u32; total];
         for (u, v) in host.edges() {
             let u_first = match sent_count[u.index()].cmp(&sent_count[v.index()]) {
@@ -187,6 +201,7 @@ impl Scenario {
             let (from, to) = if u_first { (u, v) } else { (v, u) };
             sent_count[from.index()] += 1;
             log.push(from, to, true);
+            host_accepted_edges += 1;
         }
 
         let fakes: Vec<NodeId> =
@@ -204,6 +219,14 @@ impl Scenario {
             (w, r)
         };
 
+        // Attack-generator volume counters, flushed into `obs` at the end.
+        let mut intra_fake_edges = 0u64;
+        let mut spam_requests = 0u64;
+        let mut careless_accepts = 0u64;
+        let mut legit_rejections = 0u64;
+        let mut self_rejection_requests = 0u64;
+        let mut fig15_rejections = 0u64;
+
         // Sybil-region topology: each arriving fake sends accepted requests
         // to `fake_intra_edges` random earlier fakes.
         for (i, &f) in fakes.iter().enumerate() {
@@ -215,6 +238,7 @@ impl Scenario {
             targets.shuffle(&mut rng);
             for &t in targets.iter().take(want) {
                 log.push(f, fakes[t], true);
+                intra_fake_edges += 1;
             }
         }
 
@@ -245,6 +269,7 @@ impl Scenario {
                     sent.push(t);
                     let accepted = !rng.gen_bool(cfg.spam_rejection_rate);
                     log.push(s, t, accepted);
+                    spam_requests += 1;
                 }
             }
         }
@@ -257,6 +282,7 @@ impl Scenario {
             for &u in legit_ids.iter().take(careless) {
                 let f = fakes[rng.gen_range(0..fakes.len())];
                 log.push(NodeId(u), f, true);
+                careless_accepts += 1;
             }
         }
 
@@ -283,6 +309,7 @@ impl Scenario {
                     }
                     log.push(u, x, false);
                     placed += 1;
+                    legit_rejections += 1;
                 }
             }
         }
@@ -297,6 +324,7 @@ impl Scenario {
                         let t = whitewashed[rng.gen_range(0..whitewashed.len())];
                         let accepted = !rng.gen_bool(sr.rejection_rate);
                         log.push(s, t, accepted);
+                        self_rejection_requests += 1;
                     }
                 }
             }
@@ -313,12 +341,22 @@ impl Scenario {
                 let u = NodeId(order[(i % num_legit as u64) as usize]);
                 let f = fakes[rng.gen_range(0..fakes.len())];
                 log.push(u, f, false);
+                fig15_rejections += 1;
             }
         }
 
         let mut is_fake = vec![false; total];
         for &f in &fakes {
             is_fake[f.index()] = true;
+        }
+        if let Some(obs) = obs {
+            obs.incr("sim/host_accepted_edges", host_accepted_edges);
+            obs.incr("sim/intra_fake_edges", intra_fake_edges);
+            obs.incr("sim/spam_requests", spam_requests);
+            obs.incr("sim/careless_accepts", careless_accepts);
+            obs.incr("sim/legit_rejections", legit_rejections);
+            obs.incr("sim/self_rejection_requests", self_rejection_requests);
+            obs.incr("sim/fig15_rejections", fig15_rejections);
         }
         let graph = log.to_augmented_graph();
         SimOutput { graph, log, is_fake, spammers, fakes, num_legit }
@@ -346,6 +384,45 @@ mod tests {
         assert_eq!(sim.fakes.len(), 40);
         assert!(sim.is_fake[300] && sim.is_fake[339]);
         assert!(!sim.is_fake[0] && !sim.is_fake[299]);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_reconciles_with_the_log() {
+        let h = host(200);
+        let cfg = ScenarioConfig {
+            legit_requests_rejected_by_fakes: 50,
+            self_rejection: Some(SelfRejectionConfig {
+                whitewashed: 10,
+                requests_per_sender: 5,
+                rejection_rate: 0.5,
+            }),
+            ..small_config()
+        };
+        let plain = Scenario::new(cfg.clone()).run(&h, 7);
+        let obs = rejecto_obs::Obs::default();
+        let observed = Scenario::new(cfg).run_observed(&h, 7, &obs);
+        assert_eq!(plain.graph, observed.graph);
+        assert_eq!(plain.log, observed.log);
+        assert_eq!(obs.span_count("simulate"), 1);
+
+        // Every logged request is claimed by exactly one counter.
+        let total: u64 = [
+            "sim/host_accepted_edges",
+            "sim/intra_fake_edges",
+            "sim/spam_requests",
+            "sim/careless_accepts",
+            "sim/legit_rejections",
+            "sim/self_rejection_requests",
+            "sim/fig15_rejections",
+        ]
+        .iter()
+        .map(|k| obs.counter(k))
+        .sum();
+        let logged = u64::try_from(observed.log.requests().len()).expect("log fits in u64");
+        assert_eq!(total, logged);
+        assert_eq!(obs.counter("sim/fig15_rejections"), 50);
+        assert!(obs.counter("sim/spam_requests") > 0);
+        assert!(obs.counter("sim/self_rejection_requests") > 0);
     }
 
     #[test]

@@ -1,0 +1,11 @@
+//~ crate: core
+//~ path: crates/core/src/fixture.rs
+//~ expect: obs-discipline@10
+
+pub fn timed() -> std::time::Instant {
+    std::time::Instant::now() //~ expect: obs-discipline
+}
+
+pub fn reasonless() -> std::time::SystemTime {
+    std::time::SystemTime::now() // xtask-allow: obs-discipline
+}

@@ -1,0 +1,24 @@
+//~ crate: core
+//~ path: crates/core/src/fixture.rs
+
+pub fn timed(obs: &rejecto_obs::Obs) {
+    let _span = obs.span("detect/round");
+}
+
+pub fn deadline_left(budget: std::time::Duration) -> std::time::Duration {
+    let clock = rejecto_obs::Stopwatch::start();
+    budget.saturating_sub(clock.elapsed())
+}
+
+pub fn reasoned() -> std::time::Instant {
+    std::time::Instant::now() // xtask-allow: obs-discipline: one-shot startup stamp, logged only
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clock_reads_in_tests_are_exempt() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_secs() < 1);
+    }
+}

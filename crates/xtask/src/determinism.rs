@@ -160,17 +160,104 @@ pub fn run() -> Result<String, String> {
     }
 
     distributed_legs(&sim1)?;
+    metrics_legs(&sim1)?;
 
     Ok(format!(
         "determinism: OK — {} nodes, {} graph bytes, {} detection rounds, \
          both runs byte-identical; k-sweep artifacts identical at \
          threads=1/4/auto; kill-and-resume byte-identical at threads=1/4 \
          (seed {SEED}); distributed reports byte-identical at workers=1/4 \
-         incl. under an injected fault plan and through kill-and-resume",
+         incl. under an injected fault plan and through kill-and-resume; \
+         metrics ({}) minus `timings` byte-identical at threads=1/4/auto \
+         and workers=1/4 incl. under the fault plan",
         sim1.graph.num_nodes(),
         bytes1.len(),
-        r1.rounds
+        r1.rounds,
+        rejecto_obs::SCHEMA
     ))
+}
+
+/// Observability determinism (DESIGN.md §13): everything the metrics
+/// document records outside its `timings` section — counters, spans,
+/// histograms — must be byte-invariant to thread count, worker count,
+/// and any absorbed fault plan. [`rejecto_obs::strip_timings`] over the
+/// full rendering is exactly what CI byte-diffs on collected artifacts,
+/// so that is the comparison run here too.
+fn metrics_legs(sim: &SimOutput) -> Result<(), String> {
+    let local = |threads: usize| -> String {
+        let mut det =
+            IterativeDetector::new(RejectoConfig { threads, ..RejectoConfig::default() });
+        let obs = rejecto_obs::Obs::default();
+        det.set_obs(obs.clone());
+        det.detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES));
+        rejecto_obs::strip_timings(&obs.to_json())
+    };
+
+    // Auto-threads is the baseline; the textual strip must agree with the
+    // structured deterministic rendering it claims to recover.
+    let baseline = {
+        let mut det = IterativeDetector::new(RejectoConfig::default());
+        let obs = rejecto_obs::Obs::default();
+        det.set_obs(obs.clone());
+        det.detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES));
+        let stripped = rejecto_obs::strip_timings(&obs.to_json());
+        if stripped != obs.deterministic_json() {
+            return Err(
+                "strip_timings does not recover the deterministic metrics document".to_string()
+            );
+        }
+        stripped
+    };
+
+    for threads in THREAD_COUNTS {
+        let doc = local(threads);
+        if doc != baseline {
+            return Err(format!(
+                "metrics are thread-count dependent: threads={threads} differs \
+                 from auto\n--- threads={threads} ---\n{doc}\n--- auto ---\n{baseline}"
+            ));
+        }
+    }
+
+    for workers in WORKER_COUNTS {
+        let mut clean_det =
+            DistributedDetector::new(snappy_cluster(workers), RejectoConfig::default());
+        let obs = rejecto_obs::Obs::default();
+        clean_det.set_obs(obs.clone());
+        clean_det
+            .detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES))
+            .map_err(|e| format!("distributed metrics leg failed at workers={workers}: {e}"))?;
+        let clean = rejecto_obs::strip_timings(&obs.to_json());
+        if clean != baseline {
+            return Err(format!(
+                "metrics are runtime dependent: distributed workers={workers} \
+                 differs from the local run\n--- workers={workers} ---\n{clean}\n\
+                 --- local ---\n{baseline}"
+            ));
+        }
+
+        let faulted_config = RejectoConfig {
+            faults: FaultPlan::parse(
+                "worker_death@fetch=3,worker_death@fetch=9:x2,worker_hang@k=2",
+            )
+            .map_err(|e| format!("fault spec rejected: {e}"))?,
+            ..RejectoConfig::default()
+        };
+        let mut faulted_det = DistributedDetector::new(snappy_cluster(workers), faulted_config);
+        let obs = rejecto_obs::Obs::default();
+        faulted_det.set_obs(obs.clone());
+        faulted_det
+            .detect(&sim.graph, &Seeds::default(), Termination::SuspectBudget(FAKES))
+            .map_err(|e| format!("faulted metrics leg failed at workers={workers}: {e}"))?;
+        let faulted = rejecto_obs::strip_timings(&obs.to_json());
+        if faulted != baseline {
+            return Err(format!(
+                "fault recovery leaked into the metrics at workers={workers}\n\
+                 --- faulted ---\n{faulted}\n--- failure-free ---\n{baseline}"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// The worker counts the distributed legs exercise: the degenerate

@@ -1,9 +1,9 @@
 //! The token-level lint pass behind `cargo xtask check`.
 //!
-//! Ten rules, all enforcing the determinism-and-robustness contract the
-//! reproduction depends on (DESIGN.md §8 and §12). The first six date
-//! from PR 2 and are re-expressed here over a real token stream
-//! ([`crate::lexer`]); the last four exist *because* of the token stream
+//! Eleven rules, all enforcing the determinism-and-robustness contract
+//! the reproduction depends on (DESIGN.md §8 and §12). The first six
+//! date from PR 2 and are re-expressed here over a real token stream
+//! ([`crate::lexer`]); the rest exist *because* of the token stream
 //! — they are not expressible at line granularity:
 //!
 //! 1. **no-unwrap** — library crates may not call `.unwrap()`; failures
@@ -48,7 +48,14 @@
 //!    master forever; DESIGN.md §11's watchdog is built on deadlines), and
 //!    `Mutex`/`RwLock`/`Condvar` may appear only in the sanctioned
 //!    cluster/pool modules ([`SYNC_PRIMITIVE_MODULES`]).
-//! 10. **dead-pragma** — an `xtask-allow` pragma that no longer
+//! 10. **obs-discipline** — ad-hoc `Instant::now()` / `SystemTime::now()`
+//!     reads are confined to the observability layer (the `obs` crate and
+//!     the [`CLOCK_SANCTIONED_MODULES`]): every timing must flow through a
+//!     `rejecto_obs` span or `Stopwatch`, which is what keeps wall-clock
+//!     data segregated into the metrics document's volatile `timings`
+//!     section and everything else byte-comparable. A pragma **must state
+//!     the justification**; a reason-less one does not suppress.
+//! 11. **dead-pragma** — an `xtask-allow` pragma that no longer
 //!     suppresses any diagnostic is itself an error, as is one naming an
 //!     unknown rule. Suppressions cannot rot: delete the pragma when the
 //!     code it excused goes away.
@@ -56,7 +63,8 @@
 //! A diagnostic is opted out of with a pragma in a comment **on the same
 //! line**: `// xtask-allow: <rule>` or
 //! `// xtask-allow: <rule>: <reason>`. The reason is mandatory for
-//! `lossy-cast` and recommended everywhere.
+//! `lossy-cast` and `obs-discipline` ([`REASON_REQUIRED_RULES`]) and
+//! recommended everywhere.
 
 use crate::lexer::{lex, Token, TokenKind};
 use std::fmt;
@@ -73,6 +81,7 @@ pub const NO_UNWRAP_CRATES: &[&str] = &[
     "sybilrank",
     "eval",
     "dataflow",
+    "obs",
 ];
 
 /// Crates whose kernels must stay free of hash collections entirely.
@@ -119,6 +128,21 @@ pub const FLOAT_CRATES: &[&str] =
 /// larger legacy of index casts and join the audit in a later pass.)
 pub const LOSSY_CAST_CRATES: &[&str] = &["kl", "core", "sybilrank", "votetrust"];
 
+/// Crates exempt from **obs-discipline**: `obs` *is* the observability
+/// layer (its spans and `Stopwatch` are the sanctioned clock reads), and
+/// `bench` measures wall-clock behavior by design.
+pub const CLOCK_EXEMPT_CRATES: &[&str] = &["obs", "bench"];
+
+/// Modules outside the exempt crates allowed to read the clock directly
+/// (**obs-discipline**): the cancellation token's deadline arithmetic
+/// predates the obs crate and is scheduling-volatile by nature.
+/// Repo-relative paths.
+pub const CLOCK_SANCTIONED_MODULES: &[&str] = &["crates/kl/src/cancel.rs"];
+
+/// Rules whose pragma must carry a reason to suppress; a reason-less
+/// pragma counts as addressed (not dead) but the diagnostic still fires.
+pub const REASON_REQUIRED_RULES: &[&str] = &["lossy-cast", "obs-discipline"];
+
 /// Crates whose runtime paths are subject to **channel-discipline**.
 pub const CHANNEL_CRATES: &[&str] = &["dataflow"];
 
@@ -140,6 +164,7 @@ pub const RULES: &[&str] = &[
     "float-determinism",
     "lossy-cast",
     "channel-discipline",
+    "obs-discipline",
     "dead-pragma",
 ];
 
@@ -253,24 +278,25 @@ impl<'a> Engine<'a> {
     /// Records a violation at `line` unless a same-line pragma for `rule`
     /// suppresses it (marking the pragma live either way it matches).
     fn emit(&mut self, rule: &'static str, line: usize, message: String) {
-        let mut reasonless_cast_pragma = false;
+        let mut reasonless_pragma = false;
         for (i, p) in self.pragmas.iter().enumerate() {
             if p.line != line || p.rule != rule {
                 continue;
             }
-            if rule == "lossy-cast" && p.reason.is_none() {
+            if REASON_REQUIRED_RULES.contains(&rule) && p.reason.is_none() {
                 // The pragma is addressed at this diagnostic (so it is not
-                // *dead*), but without a stated range invariant it does
-                // not suppress.
+                // *dead*), but without a stated reason it does not
+                // suppress.
                 self.pragma_used[i] = true;
-                reasonless_cast_pragma = true;
+                reasonless_pragma = true;
                 continue;
             }
             self.pragma_used[i] = true;
             return;
         }
-        let message = if reasonless_cast_pragma {
-            format!("{message} (pragma present but missing the range-invariant reason)")
+        let message = if reasonless_pragma {
+            let what = if rule == "lossy-cast" { "range-invariant reason" } else { "justification" };
+            format!("{message} (pragma present but missing the {what})")
         } else {
             message
         };
@@ -397,8 +423,15 @@ pub fn lint_file(f: &SourceFile) -> Vec<Violation> {
         && in_src
         && !f.rel_path.contains("invariants");
     let channel_banned = CHANNEL_CRATES.contains(&f.crate_name) && in_src;
-    let runtime_rules =
-        panic_banned || assert_banned || float_banned || cast_banned || channel_banned;
+    let clock_banned = !CLOCK_EXEMPT_CRATES.contains(&f.crate_name)
+        && !CLOCK_SANCTIONED_MODULES.contains(&f.rel_path)
+        && in_src;
+    let runtime_rules = panic_banned
+        || assert_banned
+        || float_banned
+        || cast_banned
+        || channel_banned
+        || clock_banned;
     let test_start = if runtime_rules { e.test_module_start() } else { usize::MAX };
 
     for i in 0..e.sig.len() {
@@ -598,6 +631,28 @@ pub fn lint_file(f: &SourceFile) -> Vec<Violation> {
                     );
                 }
             }
+        }
+
+        // ---- obs-discipline -------------------------------------------
+        if clock_banned
+            && runtime
+            && matches!(e.ident(i), Some("Instant" | "SystemTime"))
+            && e.is_punct(i + 1, ":")
+            && e.is_punct(i + 2, ":")
+            && e.is_ident(i + 3, "now")
+        {
+            let ty = e.ident(i).unwrap_or_default().to_string();
+            e.emit(
+                "obs-discipline",
+                line,
+                format!(
+                    "ad-hoc `{ty}::now()` outside the observability layer; \
+                     time spans through `rejecto_obs` (or `rejecto_obs::\
+                     Stopwatch` for deadline arithmetic), or pragma the site \
+                     with the justification \
+                     (`// xtask-allow: obs-discipline: <why>`)"
+                ),
+            );
         }
 
         // ---- channel-discipline ---------------------------------------
@@ -1197,6 +1252,57 @@ mod tests {
         let v = lint_file(&file("kl", without_reason));
         assert_eq!(rules(&v), ["lossy-cast"]);
         assert!(v[0].message.contains("missing the range-invariant reason"));
+    }
+
+    // ---- obs-discipline -----------------------------------------------
+
+    #[test]
+    fn ad_hoc_clock_reads_are_flagged() {
+        for src in [
+            "fn f() { let t0 = std::time::Instant::now(); }\n",
+            "fn f() { let t0 = Instant::now(); }\n",
+            "fn f() { let t0 = SystemTime::now(); }\n",
+        ] {
+            let v = lint_file(&file("core", src));
+            assert_eq!(rules(&v), ["obs-discipline"], "{src:?}");
+            assert!(v[0].message.contains("rejecto_obs"), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn clock_reads_in_the_obs_and_bench_crates_are_exempt() {
+        let src = "fn f() { let t0 = Instant::now(); }\n";
+        for c in ["obs", "bench"] {
+            assert!(lint_file(&file(c, src)).is_empty(), "{c}");
+        }
+    }
+
+    #[test]
+    fn clock_sanctioned_modules_may_read_the_clock() {
+        let f = SourceFile {
+            rel_path: "crates/kl/src/cancel.rs",
+            crate_name: "kl",
+            is_crate_root: false,
+            text: "fn f() { let at = Instant::now(); }\n",
+        };
+        assert!(lint_file(&f).is_empty());
+    }
+
+    #[test]
+    fn clock_reads_in_test_modules_are_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let t0 = Instant::now(); }\n}\n";
+        assert!(lint_file(&file("core", src)).is_empty());
+    }
+
+    #[test]
+    fn obs_pragma_requires_a_justification() {
+        let with_reason = "let t0 = Instant::now(); // xtask-allow: obs-discipline: coarse log throttle, never compared\n";
+        assert!(lint_file(&file("core", with_reason)).is_empty());
+
+        let without_reason = "let t0 = Instant::now(); // xtask-allow: obs-discipline\n";
+        let v = lint_file(&file("core", without_reason));
+        assert_eq!(rules(&v), ["obs-discipline"]);
+        assert!(v[0].message.contains("missing the justification"));
     }
 
     // ---- channel-discipline -------------------------------------------

@@ -271,7 +271,12 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
     let distributed: bool = args.get_or("distributed", false)?;
     let workers: Option<usize> = args.get_opt("workers")?;
     let request_deadline_ms: Option<u64> = args.get_opt("request-deadline-ms")?;
+    let metrics_path = args.get("metrics");
     args.finish()?;
+
+    // Metrics are opt-in: without `--metrics` the detectors run with no
+    // observer attached and pay nothing for instrumentation.
+    let obs = metrics_path.as_ref().map(|_| rejecto_obs::Obs::default());
 
     if !distributed && (workers.is_some() || request_deadline_ms.is_some()) {
         return Err(CliError(
@@ -281,6 +286,11 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
 
     let (g, load_stats) = load_augmented(&graph_path, lenient)?;
     if load_stats.is_degraded() {
+        if let Some(obs) = &obs {
+            let skipped =
+                u64::try_from(load_stats.skipped_lines).expect("skipped line count fits in u64");
+            obs.incr("load/skipped_lines", skipped);
+        }
         let first = load_stats.first_skipped.unwrap_or(0);
         if json {
             writeln!(
@@ -335,7 +345,10 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
         if let Some(ms) = request_deadline_ms {
             cluster.request_deadline = Duration::from_millis(ms);
         }
-        let detector = DistributedDetector::new(cluster, config);
+        let mut detector = DistributedDetector::new(cluster, config);
+        if let Some(obs) = &obs {
+            detector.set_obs(obs.clone());
+        }
         run_distributed_detector(
             &detector,
             &g,
@@ -345,7 +358,10 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
             checkpoint_path.as_deref(),
         )?
     } else {
-        let detector = IterativeDetector::new(config);
+        let mut detector = IterativeDetector::new(config);
+        if let Some(obs) = &obs {
+            detector.set_obs(obs.clone());
+        }
         run_detector(
             &detector,
             &g,
@@ -443,6 +459,16 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
             pr.declared
         )?;
     }
+
+    if let (Some(path), Some(obs)) = (&metrics_path, &obs) {
+        if path == "-" {
+            write!(out, "{}", obs.human_summary())?;
+        } else {
+            let mut doc = obs.to_json();
+            doc.push('\n');
+            std::fs::write(path, doc).map_err(|e| CliError(format!("{path}: {e}")))?;
+        }
+    }
     Ok(())
 }
 
@@ -537,6 +563,16 @@ fn votetrust_cmd<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> 
     Ok(())
 }
 
+/// Ascending score order with index tie-break, shared by the ranking
+/// commands. `total_cmp` keeps the order total even when a score is NaN
+/// (it sorts after every finite value), where the old
+/// `partial_cmp(..).expect(..)` chain aborted the whole CLI.
+fn ranked_by_score(scores: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
+    idx
+}
+
 fn sybilrank_cmd<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
     let graph_path = args.require("graph")?;
     let seeds = parse_seed_list(&args.require("seeds")?)?;
@@ -554,13 +590,7 @@ fn sybilrank_cmd<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> 
         }
     }
     let result = sybilrank::SybilRank::default().rank(&g, &seeds);
-    let mut idx: Vec<usize> = (0..g.num_nodes()).collect();
-    idx.sort_by(|&a, &b| {
-        result.scores()[a]
-            .partial_cmp(&result.scores()[b])
-            .expect("finite scores")
-            .then(a.cmp(&b))
-    });
+    let idx = ranked_by_score(result.scores());
     writeln!(out, "bottom {bottom} users by degree-normalized trust:")?;
     for &i in idx.iter().take(bottom) {
         writeln!(out, "  {}: score {:.6}", i, result.scores()[i])?;
@@ -943,6 +973,45 @@ mod tests {
     }
 
     #[test]
+    fn detect_metrics_file_is_versioned_and_thread_invariant() {
+        let dir = tmpdir();
+        let stem = dir.join("metrics");
+        let stem_s = stem.to_str().unwrap();
+        run_to_string("simulate", &["--out", stem_s, "--scale", "0.03", "--fakes", "40"]).unwrap();
+        let graph = format!("{stem_s}.rjg");
+        let m1 = format!("{stem_s}-t1.metrics.json");
+        let m4 = format!("{stem_s}-t4.metrics.json");
+        run_to_string(
+            "detect",
+            &["--graph", &graph, "--budget", "40", "--threads", "1", "--metrics", &m1],
+        )
+        .unwrap();
+        run_to_string(
+            "detect",
+            &["--graph", &graph, "--budget", "40", "--threads", "4", "--metrics", &m4],
+        )
+        .unwrap();
+        let doc1 = std::fs::read_to_string(&m1).unwrap();
+        let doc4 = std::fs::read_to_string(&m4).unwrap();
+        assert!(doc1.contains(&format!("\"schema\": \"{}\"", rejecto_obs::SCHEMA)), "{doc1}");
+        assert!(doc1.contains("\"kl/moves_committed\""), "{doc1}");
+        assert!(doc1.contains("\"timings\""), "{doc1}");
+        assert_eq!(
+            rejecto_obs::strip_timings(&doc1),
+            rejecto_obs::strip_timings(&doc4),
+            "metrics outside `timings` must not depend on --threads"
+        );
+
+        let human = run_to_string(
+            "detect",
+            &["--graph", &graph, "--budget", "40", "--metrics", "-"],
+        )
+        .unwrap();
+        assert!(human.contains(&format!("metrics ({})", rejecto_obs::SCHEMA)), "{human}");
+        assert!(human.contains("kl/moves_committed"), "{human}");
+    }
+
+    #[test]
     fn stats_reports_augmented_numbers() {
         let dir = tmpdir();
         let stem = dir.join("stats");
@@ -966,6 +1035,33 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.lines().count(), 6, "{out}");
+    }
+
+    /// Regression test: the ranking sort used
+    /// `partial_cmp(..).expect("finite scores")`, which panicked the CLI
+    /// the moment any score was NaN. The order must instead stay total
+    /// (`total_cmp`): NaN sorts after every finite score, ties break by
+    /// index, and no input can abort the process.
+    #[test]
+    fn score_ranking_survives_nan_scores() {
+        let order = ranked_by_score(&[0.5, f64::NAN, 0.25, 0.5]);
+        assert_eq!(order, vec![2, 0, 3, 1], "NaN must sort last, ties by index");
+    }
+
+    /// A degree-zero node is the realistic route to a pathological score
+    /// under degree normalization; the whole rank-then-sort path must
+    /// stay deterministic and panic-free for it.
+    #[test]
+    fn sybilrank_ranking_handles_an_isolated_node() {
+        let mut b = socialgraph::GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(2));
+        b.add_edge(NodeId(2), NodeId(3));
+        let g = b.build(); // node 1 has degree zero
+        let result = sybilrank::SybilRank::default().rank(&g, &[NodeId(0)]);
+        let order = ranked_by_score(result.scores());
+        assert_eq!(order.len(), 4);
+        assert!(order.contains(&1), "isolated node missing from the ranking");
+        assert_eq!(order, ranked_by_score(result.scores()), "order must be stable");
     }
 
     #[test]

@@ -72,6 +72,12 @@ COMMANDS:
                                       worker silent past it is declared
                                       hung and respawned from lineage
                                       [default 5000] (needs --distributed)
+                --metrics <path|->    write run metrics as versioned JSON
+                                      (rejecto-metrics/v1); everything
+                                      outside the trailing `timings`
+                                      section is byte-identical across
+                                      --threads / --workers values.
+                                      `-` prints a human summary instead
                 --inject <spec>       deterministic fault injection, e.g.
                                       worker_panic@k=3,io_error@round=2,
                                       deadline=50ms; distributed forms:
