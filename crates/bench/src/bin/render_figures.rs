@@ -65,7 +65,10 @@ fn write_svg(out_dir: &Path, stem: &str, cfg: &ChartConfig, series: &[Series]) {
     }
     let svg = render(cfg, series);
     let path = out_dir.join(format!("{stem}.svg"));
-    std::fs::write(&path, svg).expect("cannot write svg");
+    if let Err(e) = rejecto_core::store::atomic_write(&path, svg.as_bytes()) {
+        eprintln!("render_figures: {e}");
+        std::process::exit(1);
+    }
     println!("wrote {}", path.display());
 }
 

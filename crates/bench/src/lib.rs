@@ -106,30 +106,82 @@ impl Harness {
         Scenario::new(cfg).run_observed(host, self.seed, &self.obs)
     }
 
-    /// Prints the table and writes `results/<name>.json`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the results directory cannot be written.
+    /// Prints the table and writes `results/<name>.json`; on any write
+    /// failure (full disk, bad permissions) it reports the structured
+    /// error and exits nonzero instead of panicking. Because every file
+    /// goes through the atomic write protocol, a failed emit can never
+    /// leave a half-written `results/*.json` for a later report-equality
+    /// assertion to read as truth.
     pub fn emit<R: Serialize>(&self, table: &eval::table::Table, rows: &[R]) {
+        if let Err(e) = self.try_emit(table, rows) {
+            eprintln!("bench: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    /// Fallible core of [`Harness::emit`].
+    ///
+    /// # Errors
+    ///
+    /// [`EmitError`] naming the path and the failed step.
+    pub fn try_emit<R: Serialize>(
+        &self,
+        table: &eval::table::Table,
+        rows: &[R],
+    ) -> Result<(), EmitError> {
         println!("== {} (scale {}, seed {}) ==", self.name, self.scale, self.seed);
         print!("{}", table.render());
-        std::fs::create_dir_all(&self.out_dir).expect("cannot create results dir");
+        std::fs::create_dir_all(&self.out_dir).map_err(|e| EmitError {
+            path: self.out_dir.display().to_string(),
+            message: format!("cannot create results dir: {e}"),
+        })?;
         let path = self.out_dir.join(format!("{}.json", self.name));
-        let mut f = std::fs::File::create(&path).expect("cannot create results file");
+        let mut buf = Vec::new();
         for r in rows {
-            let line = serde_json::to_string(r).expect("row serialization");
-            writeln!(f, "{line}").expect("cannot write results file");
+            let line = serde_json::to_string(r).map_err(|e| EmitError {
+                path: path.display().to_string(),
+                message: format!("row serialization failed: {e}"),
+            })?;
+            writeln!(buf, "{line}").map_err(|e| EmitError {
+                path: path.display().to_string(),
+                message: format!("cannot render results rows: {e}"),
+            })?;
         }
+        rejecto_core::store::atomic_write(&path, &buf).map_err(|e| EmitError {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
         eprintln!("[wrote {}]", path.display());
 
         let metrics_path = self.out_dir.join(format!("{}.metrics.json", self.name));
         let mut doc = self.obs.to_json();
         doc.push('\n');
-        std::fs::write(&metrics_path, doc).expect("cannot write metrics file");
+        rejecto_core::store::atomic_write(&metrics_path, doc.as_bytes()).map_err(|e| {
+            EmitError { path: metrics_path.display().to_string(), message: e.to_string() }
+        })?;
         eprintln!("[wrote {}]", metrics_path.display());
+        Ok(())
     }
 }
+
+/// A structured results-write failure: which artifact, and what went
+/// wrong. Replaces the `expect` panics that used to abort the bench
+/// binaries mid-run on a full disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmitError {
+    /// Path of the artifact that could not be written.
+    pub path: String,
+    /// What failed.
+    pub message: String,
+}
+
+impl std::fmt::Display for EmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for EmitError {}
 
 /// One precision/recall comparison point, the row shape of Figures 9–15,
 /// 17, and 18. With `REJECTO_REPLICAS > 1` the point is the mean over

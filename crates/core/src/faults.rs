@@ -64,6 +64,23 @@ pub enum Fault {
         /// Sweep index during which one request hangs.
         k_index: usize,
     },
+    /// Tear the durable write of the checkpoint generation for round
+    /// `round` (1-based): only the first half of the framed bytes reach
+    /// disk, as if the process died mid-write on a filesystem without the
+    /// atomic-rename protocol. Parsed from `torn_write@round=<r>`;
+    /// consumed by [`crate::StoreFaults`].
+    TornWrite {
+        /// 1-based round whose generation file is truncated.
+        round: usize,
+    },
+    /// Flip one bit in the middle of the framed checkpoint generation for
+    /// round `round` (1-based) before it reaches disk — silent media
+    /// corruption that only the CRC32 envelope can catch. Parsed from
+    /// `bit_flip@round=<r>`; consumed by [`crate::StoreFaults`].
+    BitFlip {
+        /// 1-based round whose generation file is corrupted.
+        round: usize,
+    },
 }
 
 /// A declarative list of faults to arm for one run.
@@ -95,9 +112,11 @@ impl FaultPlan {
 
     /// Parses the CLI/env injection syntax: a comma-separated list of
     /// `worker_panic@k=<i>`, `worker_panic@k=<i>:always`,
-    /// `io_error@round=<r>`, `deadline=<ms>ms`, and the distributed forms
+    /// `io_error@round=<r>`, `deadline=<ms>ms`, the distributed forms
     /// `worker_death@fetch=<n>[:x<m>]` (a repeated-death schedule) and
-    /// `worker_hang@k=<i>`. An empty string parses to the empty plan.
+    /// `worker_hang@k=<i>`, and the durable-store forms
+    /// `torn_write@round=<r>` and `bit_flip@round=<r>`. An empty string
+    /// parses to the empty plan.
     ///
     /// # Errors
     ///
@@ -162,11 +181,28 @@ impl FaultPlan {
                     format!("bad sweep index in `{part}`: expected worker_hang@k=<index>")
                 })?;
                 plan.push(Fault::WorkerHang { k_index });
+            } else if let Some(rest) = part.strip_prefix("torn_write@round=") {
+                let round = rest.parse::<usize>().map_err(|_| {
+                    format!("bad round in `{part}`: expected torn_write@round=<round>")
+                })?;
+                if round == 0 {
+                    return Err(format!("bad round in `{part}`: rounds are 1-based"));
+                }
+                plan.push(Fault::TornWrite { round });
+            } else if let Some(rest) = part.strip_prefix("bit_flip@round=") {
+                let round = rest.parse::<usize>().map_err(|_| {
+                    format!("bad round in `{part}`: expected bit_flip@round=<round>")
+                })?;
+                if round == 0 {
+                    return Err(format!("bad round in `{part}`: rounds are 1-based"));
+                }
+                plan.push(Fault::BitFlip { round });
             } else {
                 return Err(format!(
                     "unknown fault `{part}`: expected worker_panic@k=<i>[:always], \
                      io_error@round=<r>, deadline=<ms>ms, \
-                     worker_death@fetch=<n>[:x<m>], or worker_hang@k=<i>"
+                     worker_death@fetch=<n>[:x<m>], worker_hang@k=<i>, \
+                     torn_write@round=<r>, or bit_flip@round=<r>"
                 ));
             }
         }
@@ -238,6 +274,9 @@ impl FaultInjector {
                 // runtime has no fetches or cluster requests to kill.
                 // They are consumed by [`ClusterFaults`] instead.
                 Fault::WorkerDeath { .. } | Fault::WorkerHang { .. } => {}
+                // Durable-store injection points, consumed by
+                // [`StoreFaults`] in the checkpoint store.
+                Fault::TornWrite { .. } | Fault::BitFlip { .. } => {}
             }
         }
         FaultInjector {
@@ -342,8 +381,12 @@ impl ClusterFaults {
                     deadline = Some(deadline.map_or(d, |prev| prev.min(d)));
                 }
                 // Single-process injection points, consumed by the
-                // crate-private [`FaultInjector`].
-                Fault::WorkerPanic { .. } | Fault::CheckpointIoError { .. } => {}
+                // crate-private [`FaultInjector`]; store-level mangles
+                // are consumed by [`StoreFaults`].
+                Fault::WorkerPanic { .. }
+                | Fault::CheckpointIoError { .. }
+                | Fault::TornWrite { .. }
+                | Fault::BitFlip { .. } => {}
             }
         }
         ClusterFaults {
@@ -389,6 +432,79 @@ impl ClusterFaults {
             }
         }
         false
+    }
+}
+
+/// How an armed store fault corrupts a just-encoded frame. The store
+/// applies it to the in-memory bytes right before the atomic write, so the
+/// corruption is deterministic and the write path itself stays honest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mangle {
+    /// Keep only the first half of the bytes (a torn write).
+    TornWrite,
+    /// XOR the low bit of the middle byte (silent media corruption).
+    BitFlip,
+}
+
+#[derive(Debug)]
+struct ArmedMangle {
+    round: usize,
+    mangle: Mangle,
+    spent: bool,
+}
+
+/// The durable-store side of a [`FaultPlan`]: the checkpoint store probes
+/// it once per generation write. Public because the CLI builds the store
+/// and arms it from the parsed plan.
+///
+/// Clones share consumption state, so a mangle fires exactly once per run
+/// no matter how many saves probe it.
+#[derive(Debug, Clone)]
+pub struct StoreFaults {
+    inner: Arc<Mutex<Vec<ArmedMangle>>>,
+}
+
+impl Default for StoreFaults {
+    fn default() -> Self {
+        StoreFaults::new(&FaultPlan::default())
+    }
+}
+
+impl StoreFaults {
+    /// Arms the store-level faults of `plan` (`torn_write@round=N`,
+    /// `bit_flip@round=N`). Other faults in the plan are ignored here.
+    pub fn new(plan: &FaultPlan) -> Self {
+        let mut armed = Vec::new();
+        for &fault in plan.faults() {
+            match fault {
+                Fault::TornWrite { round } => {
+                    armed.push(ArmedMangle { round, mangle: Mangle::TornWrite, spent: false });
+                }
+                Fault::BitFlip { round } => {
+                    armed.push(ArmedMangle { round, mangle: Mangle::BitFlip, spent: false });
+                }
+                _ => {}
+            }
+        }
+        StoreFaults { inner: Arc::new(Mutex::new(armed)) }
+    }
+
+    /// Whether the plan arms no store-level faults.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("store-fault mutex poisoned").is_empty()
+    }
+
+    /// The mangle armed for the generation of `round`, if any. One-shot:
+    /// consumed by the first save that writes that round's generation.
+    pub fn take_mangle(&self, round: usize) -> Option<Mangle> {
+        let mut state = self.inner.lock().expect("store-fault mutex poisoned");
+        for armed in state.iter_mut() {
+            if armed.round == round && !armed.spent {
+                armed.spent = true;
+                return Some(armed.mangle);
+            }
+        }
+        None
     }
 }
 
@@ -449,6 +565,10 @@ mod tests {
             "worker_death@fetch=3:x0",
             "worker_death@fetch=3:xq",
             "worker_hang@k=",
+            "torn_write@round=0",
+            "torn_write@round=x",
+            "bit_flip@round=0",
+            "bit_flip@round=",
         ] {
             let err = FaultPlan::parse(bad).expect_err("spec must be rejected");
             assert!(err.contains(bad.split('=').next().unwrap_or(bad)), "{bad}: {err}");
@@ -467,6 +587,46 @@ mod tests {
                 Fault::WorkerHang { k_index: 3 },
             ]
         );
+    }
+
+    #[test]
+    fn parses_the_store_forms() {
+        let plan = FaultPlan::parse("torn_write@round=2,bit_flip@round=3")
+            .expect("spec is well-formed");
+        assert_eq!(
+            plan.faults(),
+            &[Fault::TornWrite { round: 2 }, Fault::BitFlip { round: 3 }]
+        );
+    }
+
+    #[test]
+    fn store_faults_are_one_shot_and_shared() {
+        let plan = FaultPlan::parse("torn_write@round=2,bit_flip@round=4")
+            .expect("spec is well-formed");
+        let faults = StoreFaults::new(&plan);
+        let clone = faults.clone();
+        assert!(!faults.is_empty());
+        assert_eq!(faults.take_mangle(1), None);
+        assert_eq!(clone.take_mangle(2), Some(Mangle::TornWrite));
+        assert_eq!(faults.take_mangle(2), None, "clone must consume the shared mangle");
+        assert_eq!(faults.take_mangle(4), Some(Mangle::BitFlip));
+    }
+
+    #[test]
+    fn store_faults_ignore_other_fault_kinds() {
+        let plan = FaultPlan::parse("worker_panic@k=1,worker_death@fetch=2")
+            .expect("spec is well-formed");
+        assert!(StoreFaults::new(&plan).is_empty());
+    }
+
+    #[test]
+    fn injectors_ignore_store_faults() {
+        let plan = FaultPlan::parse("torn_write@round=1,bit_flip@round=2")
+            .expect("spec is well-formed");
+        assert!(ClusterFaults::new(&plan).is_empty());
+        let inj = FaultInjector::new(&plan);
+        assert!(!inj.should_fail_checkpoint(1));
+        assert!(!inj.should_panic(1));
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod invariants;
 mod maar;
 mod pool;
 mod runtime;
+pub mod store;
 
 pub use checkpoint::{Checkpoint, CheckpointGroup, CHECKPOINT_FORMAT, CHECKPOINT_VERSION};
 pub use config::{InitialPlacement, RejectoConfig, RunBudget};
@@ -54,9 +55,12 @@ pub use detect::{
     CheckpointSink, Completion, DetectedGroup, DetectionReport, InterruptReason,
     IterativeDetector, Seeds, Termination,
 };
-pub use faults::{ClusterFaults, Fault, FaultPlan};
+pub use faults::{ClusterFaults, Fault, FaultPlan, Mangle, StoreFaults};
 /// Re-exported so report consumers can name the exact rational sweep
 /// parameter [`DetectedGroup::k`] carries without depending on `kl`.
 pub use kl::KParam;
 pub use maar::{MaarCut, MaarSolver};
 pub use runtime::RuntimeError;
+pub use store::{
+    CheckpointStore, StoreError, StoreResume, DEFAULT_CHECKPOINT_KEEP,
+};

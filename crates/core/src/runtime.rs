@@ -64,6 +64,28 @@ pub enum RuntimeError {
         /// The underlying cluster error, rendered.
         message: String,
     },
+    /// A durable-store protocol step (temp create, fsync, rename, ...)
+    /// failed for a persistent artifact.
+    StoreFailed {
+        /// Path of the artifact involved.
+        path: String,
+        /// The protocol step that failed.
+        op: String,
+        /// The underlying error, rendered.
+        message: String,
+    },
+    /// A checkpoint artifact exists but failed its integrity check (bad
+    /// frame magic, truncation, checksum mismatch, or an unparsable
+    /// payload); resume skipped it and fell back to an older generation
+    /// when one survived.
+    CheckpointCorrupt {
+        /// Path of the corrupt artifact.
+        path: String,
+        /// Byte offset of the first offending byte.
+        offset: usize,
+        /// What failed there.
+        message: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -88,6 +110,12 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::ClusterFailed { message } => {
                 write!(f, "distributed cluster failed: {message}")
+            }
+            RuntimeError::StoreFailed { path, op, message } => {
+                write!(f, "durable store {op} failed for {path}: {message}")
+            }
+            RuntimeError::CheckpointCorrupt { path, offset, message } => {
+                write!(f, "corrupt checkpoint {path} (byte {offset}): {message}")
             }
         }
     }

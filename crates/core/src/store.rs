@@ -1,0 +1,973 @@
+//! The durable artifact store: atomic writes, checksummed checkpoint
+//! frames, and generational retention with corruption-tolerant resume
+//! (DESIGN.md §14).
+//!
+//! PRs 4–5 made the detection *runtime* survive panics, hangs, and
+//! deadlines, but every durable artifact was still written with a bare
+//! `std::fs::write`: a crash mid-write (or a torn sector) corrupts the
+//! *only* checkpoint and silently destroys resumability. This module is
+//! the sanctioned answer, and the `durable-io` xtask lint bans raw
+//! persistent writes everywhere else:
+//!
+//! * [`atomic_write`] — temp file in the target directory → fsync the
+//!   file → rename over the destination → fsync the directory. A reader
+//!   sees either the old bytes or the new bytes, never a mixture.
+//! * [`encode_frame`] / [`decode_frame`] — a hand-rolled CRC32 integrity
+//!   envelope (`rejecto-ckpt-frame/v1 <len> <crc32>\n<payload>`) around
+//!   the checkpoint JSON. Decoding rejects any single byte flip,
+//!   truncation, or appended garbage, and names the offending byte
+//!   offset.
+//! * [`CheckpointStore`] — generational retention: each productive round
+//!   writes `<stem>.gen-<round>.json`, a framed `<stem>.manifest` is
+//!   rewritten last (the commit point), and old generations are pruned
+//!   beyond a keep budget. [`CheckpointStore::load_latest_valid`] walks
+//!   generations newest-first past corrupt frames, recording each skip
+//!   as a [`RuntimeError::CheckpointCorrupt`], so one mangled file costs
+//!   one round of progress, never the run.
+//!
+//! Fault injection ([`crate::FaultPlan`] forms `torn_write@round=N` and
+//! `bit_flip@round=N`, consumed through [`crate::StoreFaults`]) mangles
+//! a just-written generation deterministically, which is how the xtask
+//! harness and CI prove the fallback chain end-to-end.
+
+use crate::checkpoint::Checkpoint;
+use crate::faults::{Mangle, StoreFaults};
+use crate::runtime::RuntimeError;
+use std::fmt;
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Magic header naming the integrity-frame format.
+pub const FRAME_MAGIC: &str = "rejecto-ckpt-frame/v1";
+
+/// Magic `format` value of the generation manifest document.
+pub const MANIFEST_FORMAT: &str = "rejecto-ckpt-manifest";
+
+/// Manifest schema version this build writes and reads.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// Default number of checkpoint generations retained (`--checkpoint-keep`).
+pub const DEFAULT_CHECKPOINT_KEEP: usize = 3;
+
+/// A structured durable-store failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An OS-level I/O operation failed.
+    Io {
+        /// Path of the artifact involved.
+        path: String,
+        /// The protocol step that failed (`create temp`, `rename`, ...).
+        op: &'static str,
+        /// The underlying error, rendered.
+        message: String,
+    },
+    /// An artifact exists but failed its integrity check.
+    Corrupt {
+        /// Path of the corrupt artifact.
+        path: String,
+        /// Byte offset of the first offending byte.
+        offset: usize,
+        /// What failed (magic, length, checksum, payload parse).
+        message: String,
+    },
+    /// Every checkpoint generation of a stem was corrupt or missing.
+    NoValidGeneration {
+        /// The checkpoint stem whose chain was exhausted.
+        stem: String,
+        /// How many generations were examined and rejected.
+        skipped: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, op, message } => {
+                write!(f, "{path}: {op} failed: {message}")
+            }
+            StoreError::Corrupt { path, offset, message } => {
+                write!(f, "{path}: corrupt at byte {offset}: {message}")
+            }
+            StoreError::NoValidGeneration { stem, skipped } => write!(
+                f,
+                "{stem}: no valid checkpoint generation ({skipped} candidate(s) \
+                 corrupt or unreadable)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<StoreError> for RuntimeError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Io { path, op, message } => RuntimeError::StoreFailed {
+                path,
+                op: op.to_string(),
+                message,
+            },
+            StoreError::Corrupt { path, offset, message } => {
+                RuntimeError::CheckpointCorrupt { path, offset, message }
+            }
+            StoreError::NoValidGeneration { stem, skipped } => RuntimeError::StoreFailed {
+                path: stem,
+                op: "resolve".to_string(),
+                message: format!(
+                    "no valid checkpoint generation ({skipped} candidate(s) corrupt \
+                     or unreadable)"
+                ),
+            },
+        }
+    }
+}
+
+// --- CRC32 (IEEE 802.3 polynomial, reflected table-driven form) ---------
+
+/// The byte-at-a-time lookup table for the reflected polynomial
+/// `0xEDB88320`, built once on first use.
+fn crc32_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (n, slot) in table.iter_mut().enumerate() {
+            let mut c = u32::try_from(n).expect("table index is below 256");
+            for _ in 0..8 {
+                c = if c & 1 == 1 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// CRC32 (IEEE) of `bytes` — the standard zlib/PNG checksum. Hand-rolled:
+/// the store must stay dependency-free, and 20 lines of table-driven CRC
+/// beat a crates.io supply chain for auditable durability.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        let idx = u8::try_from((crc ^ u32::from(b)) & 0xFF).expect("masked to one byte");
+        crc = table[usize::from(idx)] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+// --- the integrity frame ------------------------------------------------
+
+/// Why a byte buffer is not a valid integrity frame. `offset` is the
+/// first offending byte: where a mismatching or unexpected byte sits, the
+/// end of the buffer for truncations, the payload start for checksum
+/// mismatches (the corruption is somewhere inside the checksummed span).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameError {
+    /// Byte offset of the first offending byte.
+    pub offset: usize,
+    /// What was wrong there.
+    pub message: String,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "byte {}: {}", self.offset, self.message)
+    }
+}
+
+/// Wraps `payload` in the integrity envelope:
+/// `rejecto-ckpt-frame/v1 <len> <crc32-hex>\n` followed by the payload
+/// bytes, exactly `len` of them. The header is ASCII so a corrupted file
+/// is still diagnosable with `head -1`.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let header = format!("{FRAME_MAGIC} {} {:08x}\n", payload.len(), crc32(payload));
+    let mut out = Vec::with_capacity(header.len() + payload.len());
+    out.extend_from_slice(header.as_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Unwraps an integrity frame, returning the payload slice.
+///
+/// # Errors
+///
+/// [`FrameError`] naming the first offending byte offset: a bad magic,
+/// an unparsable length or checksum field, a truncated payload, trailing
+/// garbage, or a checksum mismatch. Any single byte flip anywhere in the
+/// frame lands in one of those arms (CRC32 detects all burst errors up
+/// to 32 bits, and every header corruption breaks the header grammar or
+/// the declared length/checksum).
+pub fn decode_frame(bytes: &[u8]) -> Result<&[u8], FrameError> {
+    let magic = FRAME_MAGIC.as_bytes();
+    for (i, &want) in magic.iter().chain(std::iter::once(&b' ')).enumerate() {
+        match bytes.get(i) {
+            Some(&got) if got == want => {}
+            Some(_) => {
+                return Err(FrameError {
+                    offset: i,
+                    message: format!("not a `{FRAME_MAGIC}` frame header"),
+                })
+            }
+            None => {
+                return Err(FrameError {
+                    offset: bytes.len(),
+                    message: "truncated inside the frame header".to_string(),
+                })
+            }
+        }
+    }
+    let mut at = magic.len() + 1;
+
+    let len_start = at;
+    while matches!(bytes.get(at), Some(b) if b.is_ascii_digit()) {
+        at += 1;
+    }
+    if at == len_start {
+        return Err(FrameError {
+            offset: at,
+            message: "expected a decimal payload length".to_string(),
+        });
+    }
+    let len_text =
+        std::str::from_utf8(&bytes[len_start..at]).expect("ascii digits are valid utf-8");
+    let payload_len: usize = len_text.parse().map_err(|_| FrameError {
+        offset: len_start,
+        message: format!("payload length `{len_text}` overflows usize"),
+    })?;
+
+    match bytes.get(at) {
+        Some(b' ') => at += 1,
+        Some(_) => {
+            return Err(FrameError {
+                offset: at,
+                message: "expected a space before the checksum".to_string(),
+            })
+        }
+        None => {
+            return Err(FrameError {
+                offset: bytes.len(),
+                message: "truncated before the checksum".to_string(),
+            })
+        }
+    }
+
+    let crc_start = at;
+    while at < crc_start + 8 {
+        match bytes.get(at) {
+            // Canonical lowercase only: accepting `A`–`F` would make the
+            // 0x20 bit of a checksum letter semantically invisible, so a
+            // single-bit flip there could pass validation.
+            Some(b) if b.is_ascii_digit() || (b'a'..=b'f').contains(b) => at += 1,
+            Some(_) => {
+                return Err(FrameError {
+                    offset: at,
+                    message: "expected 8 lowercase hex digits of crc32".to_string(),
+                })
+            }
+            None => {
+                return Err(FrameError {
+                    offset: bytes.len(),
+                    message: "truncated inside the checksum".to_string(),
+                })
+            }
+        }
+    }
+    let crc_text =
+        std::str::from_utf8(&bytes[crc_start..at]).expect("ascii hex digits are valid utf-8");
+    let declared =
+        u32::from_str_radix(crc_text, 16).expect("eight hex digits fit in u32");
+
+    match bytes.get(at) {
+        Some(b'\n') => at += 1,
+        Some(_) => {
+            return Err(FrameError {
+                offset: at,
+                message: "expected a newline ending the frame header".to_string(),
+            })
+        }
+        None => {
+            return Err(FrameError {
+                offset: bytes.len(),
+                message: "truncated before the end of the frame header".to_string(),
+            })
+        }
+    }
+
+    let payload = &bytes[at..];
+    if payload.len() < payload_len {
+        return Err(FrameError {
+            offset: bytes.len(),
+            message: format!(
+                "truncated payload: header declares {payload_len} byte(s), found {}",
+                payload.len()
+            ),
+        });
+    }
+    if payload.len() > payload_len {
+        return Err(FrameError {
+            offset: at + payload_len,
+            message: format!(
+                "{} byte(s) of trailing garbage after the framed payload",
+                payload.len() - payload_len
+            ),
+        });
+    }
+    let actual = crc32(payload);
+    if actual != declared {
+        return Err(FrameError {
+            offset: at,
+            message: format!(
+                "checksum mismatch: header declares {declared:08x}, payload hashes \
+                 to {actual:08x}"
+            ),
+        });
+    }
+    Ok(payload)
+}
+
+// --- the atomic write protocol ------------------------------------------
+
+/// Distinguishes concurrent temp files from one process; the pid handles
+/// concurrent processes.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn io_err(path: &Path, op: &'static str, e: &std::io::Error) -> StoreError {
+    StoreError::Io { path: path.display().to_string(), op, message: e.to_string() }
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the target
+/// directory → fsync the file → rename over `path` → fsync the
+/// directory. A crash at any point leaves either the previous contents
+/// or the new contents — never a prefix, never a mixture. This is the
+/// only sanctioned way to produce a persistent artifact (the
+/// `durable-io` lint bans bare `std::fs::write`/`File::create` outside
+/// this module).
+///
+/// # Errors
+///
+/// [`StoreError::Io`] naming the protocol step that failed; the temp
+/// file is removed best-effort on any failure after its creation.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let Some(file_name) = path.file_name() else {
+        return Err(StoreError::Io {
+            path: path.display().to_string(),
+            op: "resolve",
+            message: "path has no file name component".to_string(),
+        });
+    };
+    let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = parent.join(format!(
+        ".{}.tmp.{}.{seq}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+
+    let write_and_sync = || -> Result<(), StoreError> {
+        let mut f = File::create(&tmp).map_err(|e| io_err(&tmp, "create temp", &e))?;
+        f.write_all(bytes).map_err(|e| io_err(&tmp, "write temp", &e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, "sync temp", &e))?;
+        std::fs::rename(&tmp, path).map_err(|e| io_err(path, "rename", &e))?;
+        Ok(())
+    };
+    if let Err(e) = write_and_sync() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+
+    // Publish the rename: without a directory fsync a crash can forget
+    // the new directory entry even though the file data is durable.
+    // Opening a directory read-only for fsync is a unix affordance.
+    #[cfg(unix)]
+    {
+        let dir = File::open(parent).map_err(|e| io_err(parent, "open dir", &e))?;
+        dir.sync_all().map_err(|e| io_err(parent, "sync dir", &e))?;
+    }
+    Ok(())
+}
+
+// --- the generational checkpoint store ----------------------------------
+
+/// A resolved resume source: the newest valid checkpoint plus the audit
+/// trail of everything skipped on the way to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreResume {
+    /// The newest checkpoint that decoded and parsed cleanly.
+    pub checkpoint: Checkpoint,
+    /// The file it came from.
+    pub path: PathBuf,
+    /// One [`RuntimeError::CheckpointCorrupt`] per newer generation (or
+    /// manifest) that was skipped, newest first. Empty when the newest
+    /// generation was used directly.
+    pub skipped: Vec<RuntimeError>,
+}
+
+impl StoreResume {
+    /// Whether resume had to fall back past at least one corrupt artifact.
+    pub fn fell_back(&self) -> bool {
+        !self.skipped.is_empty()
+    }
+}
+
+/// The generational checkpoint store for one stem path.
+///
+/// `--checkpoint <stem>` writes `<stem>.gen-<round>.json` after every
+/// productive round plus a framed `<stem>.manifest` naming the live
+/// generations; `--resume <stem>` loads the newest generation whose
+/// frame and JSON both validate, falling back generation-by-generation.
+/// A plain pre-generational checkpoint file at `<stem>` itself (framed
+/// or legacy raw JSON) still resumes, so old artifacts keep working.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    stem: PathBuf,
+    keep: usize,
+    faults: StoreFaults,
+    obs: Option<rejecto_obs::Obs>,
+}
+
+impl CheckpointStore {
+    /// A store over `stem` retaining [`DEFAULT_CHECKPOINT_KEEP`]
+    /// generations, with no faults armed and no metrics attached.
+    pub fn new(stem: impl Into<PathBuf>) -> Self {
+        CheckpointStore {
+            stem: stem.into(),
+            keep: DEFAULT_CHECKPOINT_KEEP,
+            faults: StoreFaults::default(),
+            obs: None,
+        }
+    }
+
+    /// Retains `keep` generations (clamped to at least 1).
+    #[must_use]
+    pub fn with_keep(mut self, keep: usize) -> Self {
+        self.keep = keep.max(1);
+        self
+    }
+
+    /// Arms the store-level faults of a plan (`torn_write@round=N`,
+    /// `bit_flip@round=N`): the matching generation is mangled right
+    /// after encoding, before it reaches disk.
+    #[must_use]
+    pub fn with_faults(mut self, faults: StoreFaults) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Attaches a metrics registry: fallbacks and corrupt-skip tallies
+    /// land in the volatile `ckpt/*` counters.
+    #[must_use]
+    pub fn with_obs(mut self, obs: rejecto_obs::Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The stem every artifact name derives from.
+    pub fn stem(&self) -> &Path {
+        &self.stem
+    }
+
+    /// `<stem>.gen-<round>.json`, the generation written after `round`.
+    pub fn generation_path(&self, round: usize) -> PathBuf {
+        sibling(&self.stem, &format!(".gen-{round}.json"))
+    }
+
+    /// `<stem>.manifest`, the framed document naming live generations.
+    pub fn manifest_path(&self) -> PathBuf {
+        sibling(&self.stem, ".manifest")
+    }
+
+    /// Persists `ckpt` as the generation for its round count: writes the
+    /// generation file atomically, rewrites the manifest (the commit
+    /// point — a crash in between leaves the previous manifest naming
+    /// only fully-written generations), then prunes generations beyond
+    /// the keep budget.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when a write step fails. Pruning is
+    /// best-effort: a surviving stale file is garbage, not corruption.
+    pub fn save(&self, ckpt: &Checkpoint) -> Result<(), StoreError> {
+        let round = ckpt.rounds;
+        let gen_path = self.generation_path(round);
+        let payload = format!("{}\n", ckpt.to_json());
+        let mut bytes = encode_frame(payload.as_bytes());
+        if let Some(mangle) = self.faults.take_mangle(round) {
+            apply_mangle(&mut bytes, mangle);
+        }
+        atomic_write(&gen_path, &bytes)?;
+
+        let mut generations = self.live_generations();
+        if !generations.contains(&round) {
+            generations.push(round);
+        }
+        generations.sort_unstable();
+        let prune: Vec<usize> = if generations.len() > self.keep {
+            generations.drain(..generations.len() - self.keep).collect()
+        } else {
+            Vec::new()
+        };
+        self.write_manifest(&generations)?;
+        for old in prune {
+            let _ = std::fs::remove_file(self.generation_path(old));
+        }
+        Ok(())
+    }
+
+    /// Resolves the newest valid checkpoint for this stem (module docs:
+    /// manifest first, then a directory scan, then the plain stem file),
+    /// skipping corrupt generations newest-first and recording each skip.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoValidGeneration`] when generations exist but all
+    /// fail validation; [`StoreError::Corrupt`] when only a plain stem
+    /// file exists and it fails; [`StoreError::Io`] when nothing
+    /// resumable exists at all.
+    pub fn load_latest_valid(&self) -> Result<StoreResume, StoreError> {
+        let mut skipped: Vec<RuntimeError> = Vec::new();
+        let manifest_path = self.manifest_path();
+        let mut candidates: Option<Vec<usize>> = None;
+
+        if manifest_path.exists() {
+            match self.read_manifest() {
+                Ok(generations) => candidates = Some(generations),
+                Err(e) => {
+                    // A corrupt manifest degrades to a directory scan —
+                    // the generations themselves are still individually
+                    // verifiable.
+                    self.count_skip();
+                    skipped.push(e.into());
+                    candidates = Some(self.scan_generations());
+                }
+            }
+        } else if !self.scan_generations().is_empty() {
+            candidates = Some(self.scan_generations());
+        }
+
+        let Some(mut generations) = candidates else {
+            // No generational artifacts: fall back to a plain (framed or
+            // legacy raw-JSON) checkpoint file at the stem itself.
+            return self.load_plain();
+        };
+
+        generations.sort_unstable();
+        for &round in generations.iter().rev() {
+            let path = self.generation_path(round);
+            match self.load_generation(&path) {
+                Ok(checkpoint) => {
+                    if !skipped.is_empty() {
+                        if let Some(obs) = &self.obs {
+                            obs.volatile_incr("ckpt/fallbacks", 1);
+                        }
+                    }
+                    return Ok(StoreResume { checkpoint, path, skipped });
+                }
+                Err(e) => {
+                    self.count_skip();
+                    skipped.push(e.into());
+                }
+            }
+        }
+        Err(StoreError::NoValidGeneration {
+            stem: self.stem.display().to_string(),
+            skipped: skipped.len(),
+        })
+    }
+
+    /// Reads and fully validates one generation file.
+    fn load_generation(&self, path: &Path) -> Result<Checkpoint, StoreError> {
+        let bytes = std::fs::read(path).map_err(|e| io_err(path, "read", &e))?;
+        let payload = decode_frame(&bytes).map_err(|e| StoreError::Corrupt {
+            path: path.display().to_string(),
+            offset: e.offset,
+            message: e.message,
+        })?;
+        let text = std::str::from_utf8(payload).map_err(|e| StoreError::Corrupt {
+            path: path.display().to_string(),
+            offset: e.valid_up_to(),
+            message: "framed payload is not utf-8".to_string(),
+        })?;
+        Checkpoint::from_json(text).map_err(|e| StoreError::Corrupt {
+            path: path.display().to_string(),
+            offset: 0,
+            message: format!("frame verifies but the payload does not parse: {e}"),
+        })
+    }
+
+    /// Loads a pre-generational checkpoint at the stem path itself:
+    /// framed if it carries the magic, legacy raw JSON otherwise.
+    fn load_plain(&self) -> Result<StoreResume, StoreError> {
+        let path = &self.stem;
+        let bytes = std::fs::read(path).map_err(|e| io_err(path, "read", &e))?;
+        let text = if bytes.starts_with(FRAME_MAGIC.as_bytes()) {
+            let payload = decode_frame(&bytes).map_err(|e| StoreError::Corrupt {
+                path: path.display().to_string(),
+                offset: e.offset,
+                message: e.message,
+            })?;
+            String::from_utf8_lossy(payload).into_owned()
+        } else {
+            String::from_utf8_lossy(&bytes).into_owned()
+        };
+        let checkpoint = Checkpoint::from_json(&text).map_err(|e| StoreError::Corrupt {
+            path: path.display().to_string(),
+            offset: 0,
+            message: e.to_string(),
+        })?;
+        Ok(StoreResume { checkpoint, path: path.clone(), skipped: Vec::new() })
+    }
+
+    /// The generation list to build the next manifest from: the current
+    /// manifest when it verifies, a directory scan otherwise. Never
+    /// fails — an unreadable manifest just means rediscovery.
+    fn live_generations(&self) -> Vec<usize> {
+        match self.read_manifest() {
+            Ok(generations) => generations,
+            Err(_) => self.scan_generations(),
+        }
+    }
+
+    /// Generation rounds named by the manifest, verified and parsed.
+    fn read_manifest(&self) -> Result<Vec<usize>, StoreError> {
+        let path = self.manifest_path();
+        let bytes = std::fs::read(&path).map_err(|e| io_err(&path, "read", &e))?;
+        let corrupt = |offset: usize, message: String| StoreError::Corrupt {
+            path: path.display().to_string(),
+            offset,
+            message,
+        };
+        let payload =
+            decode_frame(&bytes).map_err(|e| corrupt(e.offset, e.message.clone()))?;
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| corrupt(e.valid_up_to(), "framed payload is not utf-8".to_string()))?;
+        let doc: serde_json::Value = serde_json::from_str(text)
+            .map_err(|e| corrupt(0, format!("manifest is not valid JSON: {e}")))?;
+        if doc.get("format").and_then(serde_json::Value::as_str) != Some(MANIFEST_FORMAT) {
+            return Err(corrupt(0, format!("missing `format: {MANIFEST_FORMAT}` marker")));
+        }
+        if doc.get("version").and_then(serde_json::Value::as_u64) != Some(MANIFEST_VERSION) {
+            return Err(corrupt(0, "unsupported manifest version".to_string()));
+        }
+        let rounds = doc
+            .get("generations")
+            .and_then(serde_json::Value::as_array)
+            .ok_or_else(|| corrupt(0, "missing `generations` array".to_string()))?;
+        rounds
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|r| usize::try_from(r).ok())
+                    .ok_or_else(|| corrupt(0, "non-integer generation entry".to_string()))
+            })
+            .collect()
+    }
+
+    /// Rewrites the manifest naming exactly `generations`.
+    fn write_manifest(&self, generations: &[usize]) -> Result<(), StoreError> {
+        let doc = serde_json::json!({
+            "format": MANIFEST_FORMAT,
+            "version": MANIFEST_VERSION,
+            "generations": generations,
+        });
+        let payload = format!("{doc}\n");
+        atomic_write(&self.manifest_path(), &encode_frame(payload.as_bytes()))
+    }
+
+    /// Generation rounds discovered by scanning the stem's directory for
+    /// `<stem file name>.gen-<round>.json` siblings, ascending.
+    fn scan_generations(&self) -> Vec<usize> {
+        let parent = match self.stem.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        let Some(stem_name) = self.stem.file_name().map(|n| n.to_string_lossy().into_owned())
+        else {
+            return Vec::new();
+        };
+        let prefix = format!("{stem_name}.gen-");
+        let mut rounds: Vec<usize> = std::fs::read_dir(&parent)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter_map(|entry| {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let middle = name.strip_prefix(&prefix)?.strip_suffix(".json")?;
+                middle.parse::<usize>().ok()
+            })
+            .collect();
+        rounds.sort_unstable();
+        rounds.dedup();
+        rounds
+    }
+
+    fn count_skip(&self) {
+        if let Some(obs) = &self.obs {
+            obs.volatile_incr("ckpt/corrupt_skipped", 1);
+        }
+    }
+}
+
+/// `<stem's file name><suffix>` next to the stem.
+fn sibling(stem: &Path, suffix: &str) -> PathBuf {
+    let mut name = stem.file_name().map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+    name.push_str(suffix);
+    stem.with_file_name(name)
+}
+
+/// Applies an injected mangle to a just-encoded frame, deterministically:
+/// a torn write keeps only the first half of the bytes; a bit flip XORs
+/// the low bit of the middle byte (inside the checksummed payload for
+/// any real checkpoint, whose payload dwarfs the ~35-byte header).
+fn apply_mangle(bytes: &mut Vec<u8>, mangle: Mangle) {
+    match mangle {
+        Mangle::TornWrite => {
+            let keep = bytes.len() / 2;
+            bytes.truncate(keep);
+        }
+        Mangle::BitFlip => {
+            if bytes.is_empty() {
+                return;
+            }
+            let at = bytes.len() / 2;
+            bytes[at] ^= 0x01;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{DetectedGroup, DetectionReport};
+    use kl::KParam;
+    use rejection::{AugmentedGraphBuilder, NodeId};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("rejecto-store-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+        dir
+    }
+
+    fn sample_checkpoint(rounds: usize) -> Checkpoint {
+        let mut b = AugmentedGraphBuilder::new(6);
+        for u in 1..6u32 {
+            b.add_friendship(NodeId(0), NodeId(u));
+        }
+        let g = b.build();
+        let report = DetectionReport {
+            groups: vec![DetectedGroup {
+                nodes: vec![NodeId(2), NodeId(4)],
+                acceptance_rate: 0.125,
+                k: KParam::new(3, 2),
+                round: 1,
+            }],
+            rounds,
+            ..DetectionReport::default()
+        };
+        Checkpoint::capture(&g, &report)
+    }
+
+    #[test]
+    fn crc32_matches_the_standard_test_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        for payload in [&b""[..], b"x", b"{\"a\":1}\n", &[0u8, 255, 10, 13, 0]] {
+            let framed = encode_frame(payload);
+            assert_eq!(decode_frame(&framed).expect("own frame decodes"), payload);
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected_with_the_end_offset() {
+        let framed = encode_frame(b"hello checkpoint payload");
+        for cut in 0..framed.len() {
+            let err = decode_frame(&framed[..cut]).expect_err("truncated frame decodes");
+            assert!(err.offset <= cut, "offset {} past cut {cut}", err.offset);
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected_at_the_first_extra_byte() {
+        let framed = encode_frame(b"payload");
+        let mut noisy = framed.clone();
+        noisy.extend_from_slice(b"junk");
+        let err = decode_frame(&noisy).expect_err("garbage accepted");
+        assert_eq!(err.offset, framed.len());
+        assert!(err.message.contains("trailing garbage"), "{}", err.message);
+    }
+
+    #[test]
+    fn every_single_byte_change_is_detected() {
+        let framed = encode_frame(b"the quick brown fox, checkpointed");
+        for i in 0..framed.len() {
+            let mut bad = framed.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                decode_frame(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_mismatch_names_both_checksums() {
+        let mut framed = encode_frame(b"payload-bytes");
+        let last = framed.len() - 1;
+        framed[last] ^= 0xFF;
+        let err = decode_frame(&framed).expect_err("corrupt payload accepted");
+        assert!(err.message.contains("checksum mismatch"), "{}", err.message);
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents() {
+        let dir = tmpdir("atomic");
+        let path = dir.join("artifact.txt");
+        atomic_write(&path, b"first").expect("first write succeeds");
+        atomic_write(&path, b"second").expect("overwrite succeeds");
+        assert_eq!(std::fs::read(&path).expect("artifact readable"), b"second");
+        // No temp litter left behind.
+        let stray = std::fs::read_dir(&dir)
+            .expect("temp dir is listable")
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .count();
+        assert_eq!(stray, 0, "temp files left in {}", dir.display());
+    }
+
+    #[test]
+    fn save_then_load_round_trips_and_prunes() {
+        let dir = tmpdir("generations");
+        let store = CheckpointStore::new(dir.join("run.ckpt")).with_keep(2);
+        for rounds in 1..=3 {
+            store.save(&sample_checkpoint(rounds)).expect("save succeeds");
+        }
+        assert!(!store.generation_path(1).exists(), "generation 1 pruned");
+        assert!(store.generation_path(2).exists());
+        assert!(store.generation_path(3).exists());
+        let resume = store.load_latest_valid().expect("latest generation loads");
+        assert_eq!(resume.checkpoint.rounds, 3);
+        assert_eq!(resume.path, store.generation_path(3));
+        assert!(!resume.fell_back());
+    }
+
+    #[test]
+    fn corrupt_newest_generation_falls_back_to_the_previous_one() {
+        let dir = tmpdir("fallback");
+        let store = CheckpointStore::new(dir.join("run.ckpt"));
+        store.save(&sample_checkpoint(1)).expect("save succeeds");
+        store.save(&sample_checkpoint(2)).expect("save succeeds");
+        // Flip one byte in the newest generation.
+        let newest = store.generation_path(2);
+        let mut bytes = std::fs::read(&newest).expect("generation readable");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&newest, bytes).expect("fixture overwrite succeeds");
+
+        let resume = store.load_latest_valid().expect("older generation survives");
+        assert_eq!(resume.checkpoint.rounds, 1);
+        assert!(resume.fell_back());
+        assert_eq!(resume.skipped.len(), 1);
+        match &resume.skipped[0] {
+            RuntimeError::CheckpointCorrupt { path, message, .. } => {
+                assert!(path.contains("gen-2"), "{path}");
+                assert!(message.contains("checksum mismatch"), "{message}");
+            }
+            other => panic!("expected CheckpointCorrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_manifest_degrades_to_a_directory_scan() {
+        let dir = tmpdir("manifest");
+        let store = CheckpointStore::new(dir.join("run.ckpt"));
+        store.save(&sample_checkpoint(1)).expect("save succeeds");
+        store.save(&sample_checkpoint(2)).expect("save succeeds");
+        std::fs::write(store.manifest_path(), b"not a manifest at all")
+            .expect("fixture overwrite succeeds");
+        let resume = store.load_latest_valid().expect("scan finds the generations");
+        assert_eq!(resume.checkpoint.rounds, 2);
+        assert!(resume.fell_back(), "manifest corruption is a recorded fallback");
+    }
+
+    #[test]
+    fn all_generations_corrupt_is_a_typed_error() {
+        let dir = tmpdir("exhausted");
+        let store = CheckpointStore::new(dir.join("run.ckpt"));
+        store.save(&sample_checkpoint(1)).expect("save succeeds");
+        std::fs::write(store.generation_path(1), b"zeroed").expect("fixture overwrite succeeds");
+        match store.load_latest_valid() {
+            Err(StoreError::NoValidGeneration { skipped, .. }) => assert_eq!(skipped, 1),
+            other => panic!("expected NoValidGeneration, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_checkpoint_file_is_corrupt_not_a_parse_panic() {
+        let dir = tmpdir("empty");
+        let path = dir.join("empty.ckpt");
+        std::fs::write(&path, b"").expect("fixture file is writable");
+        let store = CheckpointStore::new(&path);
+        match store.load_latest_valid() {
+            Err(StoreError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // And folded into the runtime taxonomy it is CheckpointCorrupt.
+        let err = store.load_latest_valid().expect_err("empty file cannot resume");
+        match RuntimeError::from(err) {
+            RuntimeError::CheckpointCorrupt { .. } => {}
+            other => panic!("expected CheckpointCorrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_legacy_raw_json_checkpoint_still_resumes() {
+        let dir = tmpdir("legacy");
+        let path = dir.join("legacy.ckpt");
+        let ckpt = sample_checkpoint(1);
+        std::fs::write(&path, format!("{}\n", ckpt.to_json())).expect("fixture file is writable");
+        let resume = CheckpointStore::new(&path).load_latest_valid().expect("legacy loads");
+        assert_eq!(resume.checkpoint, ckpt);
+    }
+
+    #[test]
+    fn injected_torn_write_mangles_exactly_one_generation() {
+        let dir = tmpdir("torn");
+        let plan = crate::FaultPlan::parse("torn_write@round=2").expect("plan parses");
+        let store = CheckpointStore::new(dir.join("run.ckpt"))
+            .with_faults(StoreFaults::new(&plan));
+        store.save(&sample_checkpoint(1)).expect("save succeeds");
+        store.save(&sample_checkpoint(2)).expect("save succeeds");
+        let resume = store.load_latest_valid().expect("fallback survives the tear");
+        assert_eq!(resume.checkpoint.rounds, 1);
+        assert_eq!(resume.skipped.len(), 1);
+        match &resume.skipped[0] {
+            RuntimeError::CheckpointCorrupt { message, .. } => {
+                assert!(message.contains("truncated"), "{message}");
+            }
+            other => panic!("expected CheckpointCorrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_bit_flip_is_detected_and_skipped() {
+        let dir = tmpdir("flip");
+        let plan = crate::FaultPlan::parse("bit_flip@round=2").expect("plan parses");
+        let store = CheckpointStore::new(dir.join("run.ckpt"))
+            .with_faults(StoreFaults::new(&plan));
+        store.save(&sample_checkpoint(1)).expect("save succeeds");
+        store.save(&sample_checkpoint(2)).expect("save succeeds");
+        let resume = store.load_latest_valid().expect("fallback survives the flip");
+        assert_eq!(resume.checkpoint.rounds, 1);
+        assert!(resume.fell_back());
+    }
+}

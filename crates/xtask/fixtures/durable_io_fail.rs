@@ -1,0 +1,15 @@
+//~ crate: core
+//~ path: crates/core/src/fixture.rs
+//~ expect: durable-io@14
+
+pub fn torn_metrics(doc: &str) {
+    std::fs::write("metrics.json", doc).ok(); //~ expect: durable-io
+}
+
+pub fn truncating_writer() -> std::io::Result<std::fs::File> {
+    std::fs::File::create("checkpoint.json") //~ expect: durable-io
+}
+
+pub fn reasonless(doc: &str) {
+    std::fs::write("out.json", doc).ok(); // xtask-allow: durable-io
+}

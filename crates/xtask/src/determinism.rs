@@ -19,13 +19,14 @@
 
 use dataflow::{ClusterConfig, DistributedDetector};
 use rejecto_core::{
-    Checkpoint, Completion, DetectionReport, FaultPlan, IterativeDetector, RejectoConfig, Seeds,
-    Termination,
+    Checkpoint, CheckpointStore, Completion, DetectionReport, FaultPlan, IterativeDetector,
+    RejectoConfig, Seeds, StoreFaults, Termination,
 };
 use rejection::io::write_augmented;
-use simulator::{Scenario, ScenarioConfig, SimOutput};
+use simulator::{Scenario, ScenarioConfig, SelfRejectionConfig, SimOutput};
 use socialgraph::surrogates::Surrogate;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Scaled-down copy of the CLI's default simulate flow: Facebook surrogate
@@ -38,6 +39,26 @@ const SEED: u64 = 7;
 fn simulate() -> SimOutput {
     let host = Surrogate::Facebook.generate_scaled(SEED, SCALE);
     let config = ScenarioConfig { num_fakes: FAKES, ..ScenarioConfig::default() };
+    Scenario::new(config).run(&host, SEED)
+}
+
+/// The self-rejection attack variant (Fig 14 shape): whitewashed fakes
+/// spam legitimate users while sacrificed fakes absorb internal
+/// rejections. Detection needs several productive pruning rounds to peel
+/// the layers apart, which gives the durable store a real generation
+/// chain to mangle and fall back through — the plain scenario collapses
+/// in one productive round and would leave the fallback path unexercised.
+fn simulate_self_rejection() -> SimOutput {
+    let host = Surrogate::Facebook.generate_scaled(SEED, SCALE);
+    let config = ScenarioConfig {
+        num_fakes: FAKES,
+        self_rejection: Some(SelfRejectionConfig {
+            whitewashed: 30,
+            requests_per_sender: 20,
+            rejection_rate: 0.95,
+        }),
+        ..ScenarioConfig::default()
+    };
     Scenario::new(config).run(&host, SEED)
 }
 
@@ -161,6 +182,7 @@ pub fn run() -> Result<String, String> {
 
     distributed_legs(&sim1)?;
     metrics_legs(&sim1)?;
+    durable_store_legs()?;
 
     Ok(format!(
         "determinism: OK — {} nodes, {} graph bytes, {} detection rounds, \
@@ -169,12 +191,211 @@ pub fn run() -> Result<String, String> {
          (seed {SEED}); distributed reports byte-identical at workers=1/4 \
          incl. under an injected fault plan and through kill-and-resume; \
          metrics ({}) minus `timings` byte-identical at threads=1/4/auto \
-         and workers=1/4 incl. under the fault plan",
+         and workers=1/4 incl. under the fault plan; durable-store \
+         fallback resumes (newest generation torn/bit-flipped) \
+         byte-identical to the uninterrupted run at threads=1/4 and \
+         workers=1/4, with fallback metrics agreeing across all legs",
         sim1.graph.num_nodes(),
         bytes1.len(),
         r1.rounds,
         rejecto_obs::SCHEMA
     ))
+}
+
+/// A scratch directory for durable-store legs, unique per process and
+/// leg; removed best-effort when the leg succeeds.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rejecto-determinism-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir is creatable");
+    dir
+}
+
+/// Durable-store legs (DESIGN.md §14): with the **newest** checkpoint
+/// generation mangled on disk (`torn_write@round=N` / `bit_flip@round=N`),
+/// `load_latest_valid` must fall back to the surviving generation,
+/// record the skip as a structured failure, and the resumed run must
+/// render byte-identically to the uninterrupted run — locally at
+/// threads=1/4 and through the distributed runtime at workers=1/4. The
+/// `strip_timings` metrics of every fallback resume must also agree
+/// byte-for-byte across all eight legs (the fallback counters are
+/// volatile, so they strip with the timings).
+fn durable_store_legs() -> Result<(), String> {
+    let sim = simulate_self_rejection();
+    let full = render_report(&detect(&sim));
+
+    // Discover the generation chain once with a clean store run; the
+    // newest generation is the one every leg below mangles.
+    let newest = {
+        let dir = scratch("gens");
+        let store = CheckpointStore::new(dir.join("run.ckpt"));
+        let mut sink = |ckpt: &Checkpoint| store.save(ckpt).map_err(std::io::Error::other);
+        IterativeDetector::new(RejectoConfig::default()).detect_with_checkpoints(
+            &sim.graph,
+            &Seeds::default(),
+            Termination::SuspectBudget(FAKES),
+            &mut sink,
+        );
+        let resume = store
+            .load_latest_valid()
+            .map_err(|e| format!("clean generation chain unreadable: {e}"))?;
+        let _ = std::fs::remove_dir_all(&dir);
+        resume.checkpoint.rounds
+    };
+    if newest < 2 {
+        return Err(format!(
+            "durable-store fixture degenerated: the self-rejection scenario \
+             produced only {newest} checkpoint generation(s), so falling back \
+             past a mangled newest generation goes unexercised; grow the \
+             scenario"
+        ));
+    }
+
+    let mut reference_metrics: Option<String> = None;
+    for form in ["torn_write", "bit_flip"] {
+        let spec = format!("{form}@round={newest}");
+        let plan =
+            FaultPlan::parse(&spec).map_err(|e| format!("fault spec rejected: {e}"))?;
+
+        for threads in THREAD_COUNTS {
+            let dir = scratch(&format!("local-{threads}-{form}"));
+            let store = CheckpointStore::new(dir.join("run.ckpt"))
+                .with_faults(StoreFaults::new(&plan));
+            let mut sink =
+                |ckpt: &Checkpoint| store.save(ckpt).map_err(std::io::Error::other);
+            IterativeDetector::new(RejectoConfig { threads, ..RejectoConfig::default() })
+                .detect_with_checkpoints(
+                    &sim.graph,
+                    &Seeds::default(),
+                    Termination::SuspectBudget(FAKES),
+                    &mut sink,
+                );
+            let rendered = fallback_resume_leg(
+                &dir,
+                &format!("{spec} threads={threads}"),
+                &mut reference_metrics,
+                |resume, obs| {
+                    let mut det = IterativeDetector::new(RejectoConfig {
+                        threads,
+                        ..RejectoConfig::default()
+                    });
+                    det.set_obs(obs.clone());
+                    det.resume(
+                        &sim.graph,
+                        &Seeds::default(),
+                        Termination::SuspectBudget(FAKES),
+                        &resume.checkpoint,
+                    )
+                    .map_err(|e| e.to_string())
+                },
+            )?;
+            if rendered != full {
+                return Err(format!(
+                    "durable-store fallback diverged: {spec} threads={threads} \
+                     resumed report differs from the uninterrupted run\n\
+                     --- resumed ---\n{rendered}--- uninterrupted ---\n{full}"
+                ));
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        for workers in WORKER_COUNTS {
+            let dir = scratch(&format!("dist-{workers}-{form}"));
+            let store = CheckpointStore::new(dir.join("run.ckpt"))
+                .with_faults(StoreFaults::new(&plan));
+            let mut sink =
+                |ckpt: &Checkpoint| store.save(ckpt).map_err(std::io::Error::other);
+            DistributedDetector::new(snappy_cluster(workers), RejectoConfig::default())
+                .detect_with_checkpoints(
+                    &sim.graph,
+                    &Seeds::default(),
+                    Termination::SuspectBudget(FAKES),
+                    &mut sink,
+                )
+                .map_err(|e| {
+                    format!("distributed durable-store leg failed at workers={workers}: {e}")
+                })?;
+            let rendered = fallback_resume_leg(
+                &dir,
+                &format!("{spec} workers={workers}"),
+                &mut reference_metrics,
+                |resume, obs| {
+                    let mut det = DistributedDetector::new(
+                        snappy_cluster(workers),
+                        RejectoConfig::default(),
+                    );
+                    det.set_obs(obs.clone());
+                    det.resume(
+                        &sim.graph,
+                        &Seeds::default(),
+                        Termination::SuspectBudget(FAKES),
+                        &resume.checkpoint,
+                    )
+                    .map_err(|e| e.to_string())
+                },
+            )?;
+            if rendered != full {
+                return Err(format!(
+                    "durable-store fallback diverged: {spec} workers={workers} \
+                     resumed report differs from the uninterrupted run\n\
+                     --- resumed ---\n{rendered}--- uninterrupted ---\n{full}"
+                ));
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    Ok(())
+}
+
+/// Shared tail of one durable-store leg: resume from the mangled stem
+/// through `load_latest_valid`, demand a recorded fallback, run the
+/// continuation the caller provides, and fold this leg's stripped metrics
+/// into the cross-leg byte-comparison. Returns the resumed report's
+/// canonical rendering.
+fn fallback_resume_leg(
+    dir: &std::path::Path,
+    leg: &str,
+    reference_metrics: &mut Option<String>,
+    run: impl FnOnce(&rejecto_core::StoreResume, &rejecto_obs::Obs) -> Result<DetectionReport, String>,
+) -> Result<String, String> {
+    let obs = rejecto_obs::Obs::default();
+    let reader = CheckpointStore::new(dir.join("run.ckpt")).with_obs(obs.clone());
+    let resume = reader
+        .load_latest_valid()
+        .map_err(|e| format!("{leg}: fallback resume failed outright: {e}"))?;
+    if !resume.fell_back() {
+        return Err(format!(
+            "{leg}: the mangled newest generation was not skipped (resume \
+             read {} with no recorded fallback)",
+            resume.path.display()
+        ));
+    }
+    if resume.skipped.len() != 1 {
+        return Err(format!(
+            "{leg}: expected exactly one recorded skip, got {:?}",
+            resume.skipped
+        ));
+    }
+    let report = run(&resume, &obs).map_err(|e| format!("{leg}: resume failed: {e}"))?;
+
+    let stripped = rejecto_obs::strip_timings(&obs.to_json());
+    if stripped.contains("ckpt/") {
+        return Err(format!(
+            "{leg}: fallback counters leaked into the deterministic metrics \
+             section (they must be volatile):\n{stripped}"
+        ));
+    }
+    match reference_metrics {
+        None => *reference_metrics = Some(stripped),
+        Some(reference) if *reference != stripped => {
+            return Err(format!(
+                "{leg}: fallback metrics differ across legs\n--- this leg ---\n\
+                 {stripped}\n--- reference ---\n{reference}"
+            ));
+        }
+        Some(_) => {}
+    }
+    Ok(render_report(&report))
 }
 
 /// Observability determinism (DESIGN.md §13): everything the metrics

@@ -2,18 +2,19 @@
 
 use super::args::{ArgError, Args};
 use dataflow::{ClusterConfig, DistributedDetector};
+use rejecto_core::store::atomic_write;
 use rejecto_core::{
-    Checkpoint, Completion, DetectionReport, FaultPlan, InterruptReason, IterativeDetector,
-    RejectoConfig, Seeds, Termination,
+    Checkpoint, CheckpointStore, Completion, DetectionReport, FaultPlan, InterruptReason,
+    IterativeDetector, RejectoConfig, Seeds, StoreFaults, Termination,
 };
 use rejection::io::LoadStats;
 use rejection::AugmentedGraph;
-use simulator::{Scenario, ScenarioConfig};
+use simulator::{Scenario, ScenarioConfig, SelfRejectionConfig};
 use socialgraph::surrogates::Surrogate;
 use socialgraph::{analysis, metrics, Graph, NodeId};
 use std::fmt;
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
 use std::time::Duration;
 
@@ -133,6 +134,12 @@ fn simulate<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
         }
     };
     let fakes: usize = args.get_or("fakes", ((10_000.0 * scale) as usize).max(1))?;
+    // The Fig 14 whitewashing strategy: a sacrificed slice of the fakes
+    // draws the rejections while the `--whitewashed` slice hides behind
+    // them, which forces detection through multiple pruning rounds.
+    let whitewashed: Option<usize> = args.get_opt("whitewashed")?;
+    let self_requests: usize = args.get_or("self-requests", 10usize)?;
+    let self_rejection_rate: f64 = args.get_or("self-rejection-rate", 0.9)?;
     let config = ScenarioConfig {
         num_fakes: fakes,
         requests_per_spammer: args.get_or("requests", 20usize)?,
@@ -140,6 +147,11 @@ fn simulate<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
         legit_rejection_rate: args.get_or("legit-rejection", 0.2)?,
         fake_intra_edges: args.get_or("intra-edges", 6usize)?,
         spammer_fraction: args.get_or("spammer-fraction", 1.0)?,
+        self_rejection: whitewashed.map(|w| SelfRejectionConfig {
+            whitewashed: w,
+            requests_per_sender: self_requests,
+            rejection_rate: self_rejection_rate,
+        }),
         ..ScenarioConfig::default()
     };
     let seed: u64 = args.get_or("seed", 42)?;
@@ -147,21 +159,28 @@ fn simulate<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
 
     let sim = Scenario::new(config).run(&host, seed);
 
+    // Each output is rendered in memory and lands via the atomic write
+    // protocol: an interrupted simulate can never leave a torn edge list
+    // that a later lenient load half-ingests as a smaller attack.
     let graph_path = format!("{stem}.rjg");
-    rejection::io::write_augmented(&sim.graph, File::create(&graph_path)?)?;
+    let mut graph_bytes = Vec::new();
+    rejection::io::write_augmented(&sim.graph, &mut graph_bytes)?;
+    atomic_write(Path::new(&graph_path), &graph_bytes).map_err(|e| CliError(e.to_string()))?;
     let req_path = format!("{stem}.requests");
     {
-        let mut w = BufWriter::new(File::create(&req_path)?);
+        let mut buf = Vec::new();
         for r in sim.log.requests() {
-            writeln!(w, "{} {} {}", r.from, r.to, u8::from(r.accepted))?;
+            writeln!(buf, "{} {} {}", r.from, r.to, u8::from(r.accepted))?;
         }
+        atomic_write(Path::new(&req_path), &buf).map_err(|e| CliError(e.to_string()))?;
     }
     let truth_path = format!("{stem}.truth");
     {
-        let mut w = BufWriter::new(File::create(&truth_path)?);
+        let mut buf = Vec::new();
         for f in &sim.fakes {
-            writeln!(w, "{f}")?;
+            writeln!(buf, "{f}")?;
         }
+        atomic_write(Path::new(&truth_path), &buf).map_err(|e| CliError(e.to_string()))?;
     }
 
     writeln!(
@@ -205,6 +224,16 @@ fn interrupt_name(reason: InterruptReason) -> &'static str {
     }
 }
 
+/// The one checkpoint sink both runtimes share: every generation goes
+/// through the durable store (integrity frame + atomic write + retention),
+/// and store failures surface through the runtime's structured
+/// `CheckpointIo` failure path. Replaces two copy-pasted closures whose
+/// `expect("sink only installed when a path was given")` was a latent
+/// panic waiting for the call sites to drift apart.
+fn checkpoint_sink(store: &CheckpointStore) -> impl FnMut(&Checkpoint) -> std::io::Result<()> + '_ {
+    |ckpt| store.save(ckpt).map_err(std::io::Error::other)
+}
+
 /// Runs the detector in whichever of the four detect/resume ×
 /// with/without-checkpoints modes the flags selected.
 fn run_detector(
@@ -213,17 +242,17 @@ fn run_detector(
     seeds: &Seeds,
     termination: Termination,
     resume_from: Option<&Checkpoint>,
-    checkpoint_path: Option<&str>,
+    store: Option<&CheckpointStore>,
 ) -> Result<DetectionReport, CliError> {
-    let mut sink = |ckpt: &Checkpoint| -> std::io::Result<()> {
-        let path = checkpoint_path.expect("sink only installed when a path was given");
-        std::fs::write(path, format!("{}\n", ckpt.to_json()))
-    };
-    match (resume_from, checkpoint_path.is_some()) {
-        (None, false) => Ok(detector.detect(g, seeds, termination)),
-        (None, true) => Ok(detector.detect_with_checkpoints(g, seeds, termination, &mut sink)),
-        (Some(c), false) => Ok(detector.resume(g, seeds, termination, c)?),
-        (Some(c), true) => {
+    match (resume_from, store) {
+        (None, None) => Ok(detector.detect(g, seeds, termination)),
+        (None, Some(s)) => {
+            let mut sink = checkpoint_sink(s);
+            Ok(detector.detect_with_checkpoints(g, seeds, termination, &mut sink))
+        }
+        (Some(c), None) => Ok(detector.resume(g, seeds, termination, c)?),
+        (Some(c), Some(s)) => {
+            let mut sink = checkpoint_sink(s);
             Ok(detector.resume_with_checkpoints(g, seeds, termination, c, &mut sink)?)
         }
     }
@@ -231,24 +260,25 @@ fn run_detector(
 
 /// The distributed twin of [`run_detector`]: the same four modes on the
 /// cluster runtime. Checkpoints are interchangeable between the two — the
-/// wire format records algorithm state, not deployment.
+/// wire format records algorithm state, not deployment — and both feed
+/// the same durable store.
 fn run_distributed_detector(
     detector: &DistributedDetector,
     g: &AugmentedGraph,
     seeds: &Seeds,
     termination: Termination,
     resume_from: Option<&Checkpoint>,
-    checkpoint_path: Option<&str>,
+    store: Option<&CheckpointStore>,
 ) -> Result<DetectionReport, CliError> {
-    let mut sink = |ckpt: &Checkpoint| -> std::io::Result<()> {
-        let path = checkpoint_path.expect("sink only installed when a path was given");
-        std::fs::write(path, format!("{}\n", ckpt.to_json()))
-    };
-    match (resume_from, checkpoint_path.is_some()) {
-        (None, false) => Ok(detector.detect(g, seeds, termination)?),
-        (None, true) => Ok(detector.detect_with_checkpoints(g, seeds, termination, &mut sink)?),
-        (Some(c), false) => Ok(detector.resume(g, seeds, termination, c)?),
-        (Some(c), true) => {
+    match (resume_from, store) {
+        (None, None) => Ok(detector.detect(g, seeds, termination)?),
+        (None, Some(s)) => {
+            let mut sink = checkpoint_sink(s);
+            Ok(detector.detect_with_checkpoints(g, seeds, termination, &mut sink)?)
+        }
+        (Some(c), None) => Ok(detector.resume(g, seeds, termination, c)?),
+        (Some(c), Some(s)) => {
+            let mut sink = checkpoint_sink(s);
             Ok(detector.resume_with_checkpoints(g, seeds, termination, c, &mut sink)?)
         }
     }
@@ -266,6 +296,7 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
     let max_passes: Option<u64> = args.get_opt("max-passes")?;
     let max_rounds: Option<usize> = args.get_opt("max-rounds")?;
     let checkpoint_path = args.get("checkpoint");
+    let checkpoint_keep: Option<usize> = args.get_opt("checkpoint-keep")?;
     let resume_path = args.get("resume");
     let inject_spec = args.get("inject");
     let distributed: bool = args.get_or("distributed", false)?;
@@ -282,6 +313,12 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
         return Err(CliError(
             "--workers and --request-deadline-ms require --distributed true".to_string(),
         ));
+    }
+    if checkpoint_keep.is_some() && checkpoint_path.is_none() {
+        return Err(CliError("--checkpoint-keep requires --checkpoint <stem>".to_string()));
+    }
+    if checkpoint_keep == Some(0) {
+        return Err(CliError("--checkpoint-keep must retain at least 1 generation".to_string()));
     }
 
     let (g, load_stats) = load_augmented(&graph_path, lenient)?;
@@ -330,14 +367,48 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
         config.faults = FaultPlan::parse(spec).map_err(|e| CliError(format!("--inject: {e}")))?;
     }
 
-    let resume_from = match &resume_path {
+    // The durable store behind `--checkpoint`: generation files plus a
+    // framed manifest, with any armed torn-write/bit-flip mangles and the
+    // metrics registry attached.
+    let store = checkpoint_path.as_ref().map(|p| {
+        let mut s = CheckpointStore::new(p).with_faults(StoreFaults::new(&config.faults));
+        if let Some(keep) = checkpoint_keep {
+            s = s.with_keep(keep);
+        }
+        if let Some(obs) = &obs {
+            s = s.with_obs(obs.clone());
+        }
+        s
+    });
+
+    // `--resume` resolves the newest *valid* generation, walking past
+    // corrupt or truncated frames. Each skip is surfaced on stderr right
+    // away and recorded as a structured failure on the final report.
+    let resumed = match &resume_path {
         Some(p) => {
-            let text = std::fs::read_to_string(p).map_err(|e| CliError(format!("{p}: {e}")))?;
-            Some(Checkpoint::from_json(&text)?)
+            let mut resume_store = CheckpointStore::new(p);
+            if let Some(obs) = &obs {
+                resume_store = resume_store.with_obs(obs.clone());
+            }
+            let resume = resume_store
+                .load_latest_valid()
+                .map_err(|e| CliError(format!("{}", rejecto_core::RuntimeError::from(e))))?;
+            if resume.fell_back() {
+                for skip in &resume.skipped {
+                    eprintln!("resume: {skip}");
+                }
+                eprintln!(
+                    "resume: fell back past {} corrupt artifact(s) to {}",
+                    resume.skipped.len(),
+                    resume.path.display()
+                );
+            }
+            Some(resume)
         }
         None => None,
     };
-    let report = if distributed {
+    let resume_from = resumed.as_ref().map(|r| r.checkpoint.clone());
+    let mut report = if distributed {
         let mut cluster = ClusterConfig::default();
         if let Some(w) = workers {
             cluster.num_workers = w;
@@ -355,7 +426,7 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
             &Seeds::default(),
             termination,
             resume_from.as_ref(),
-            checkpoint_path.as_deref(),
+            store.as_ref(),
         )?
     } else {
         let mut detector = IterativeDetector::new(config);
@@ -368,9 +439,18 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
             &Seeds::default(),
             termination,
             resume_from.as_ref(),
-            checkpoint_path.as_deref(),
+            store.as_ref(),
         )?
     };
+    // Corrupt-generation skips belong to this run's story: they render as
+    // the same degraded/failure lines every other runtime failure uses.
+    if let Some(resume) = &resumed {
+        if resume.fell_back() {
+            let mut failures = resume.skipped.clone();
+            failures.extend(report.failures);
+            report.failures = failures;
+        }
+    }
 
     if json {
         for group in &report.groups {
@@ -466,7 +546,8 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
         } else {
             let mut doc = obs.to_json();
             doc.push('\n');
-            std::fs::write(path, doc).map_err(|e| CliError(format!("{path}: {e}")))?;
+            atomic_write(Path::new(path), doc.as_bytes())
+                .map_err(|e| CliError(e.to_string()))?;
         }
     }
     Ok(())

@@ -37,6 +37,18 @@ COMMANDS:
                 --legit-rejection <f> legit rejection rate [default 0.2]
                 --intra-edges <n>     intra-fake edges per fake [default 6]
                 --spammer-fraction <f> fraction of fakes that spam [1.0]
+                --whitewashed <n>     self-rejection attack: this many
+                                      fakes keep spamming but also reject
+                                      internal requests from sacrificed
+                                      fakes (who send no spam to legit
+                                      users); enables the mode
+                --self-requests <n>   requests each sacrificed fake sends
+                                      to the whitewashed set [default 10]
+                                      (needs --whitewashed)
+                --self-rejection-rate <f>
+                                      rate at which whitewashed fakes
+                                      reject them (the Fig 14 sweep axis)
+                                      [default 0.9] (needs --whitewashed)
                 --seed <u64>          RNG seed [default 42]
 
   detect      Run iterative MAAR detection on an augmented graph.
@@ -55,12 +67,22 @@ COMMANDS:
                                       returns a partial report
                 --max-passes <n>      global KL inner-pass budget
                 --max-rounds <n>      stop after n completed prune rounds
-                --checkpoint <path>   write a resumable checkpoint after
-                                      every completed round
-                --resume <path>       resume from a checkpoint written by
-                                      --checkpoint (same graph required;
-                                      local and distributed checkpoints
-                                      are interchangeable)
+                --checkpoint <stem>   write checksummed checkpoint
+                                      generations (<stem>.gen-<round>.json
+                                      plus <stem>.manifest) after every
+                                      completed round, each via the atomic
+                                      write protocol
+                --checkpoint-keep <n> checkpoint generations retained
+                                      before pruning [default 3]
+                                      (needs --checkpoint)
+                --resume <stem>       resume from the newest *valid*
+                                      generation under a --checkpoint stem
+                                      (corrupt/truncated generations are
+                                      skipped with a recorded failure; a
+                                      plain pre-generational checkpoint
+                                      file also works; same graph
+                                      required; local and distributed
+                                      checkpoints are interchangeable)
                 --distributed <bool>  run on the in-process cluster
                                       runtime (§V); the report is byte-
                                       identical to the local run at every
@@ -84,8 +106,12 @@ COMMANDS:
                                       worker_death@fetch=N[:xM] (kill a
                                       worker at the Nth fetch, M times),
                                       worker_hang@k=N (hang one worker
-                                      during the Nth sweep index)
-                                      (testing only)
+                                      during the Nth sweep index);
+                                      durable-store forms:
+                                      torn_write@round=N (truncate the
+                                      round-N checkpoint generation),
+                                      bit_flip@round=N (flip one bit in
+                                      it) (testing only)
 
   stats       Structural statistics of a graph.
                 --graph <path>        SNAP edge list, or
