@@ -1,4 +1,5 @@
 use crate::faults::FaultPlan;
+use crate::resources::ResourceBudget;
 use kl::KParam;
 use std::time::Duration;
 
@@ -100,6 +101,10 @@ pub struct RejectoConfig {
     /// Synthetic faults to arm for this run ([`crate::faults`]); empty by
     /// default. Used by the fault-injection tests and the CI fault matrix.
     pub faults: FaultPlan,
+    /// Resource ceilings (node/edge counts, checkpoint bytes, cumulative
+    /// suspect fraction). The default is unlimited, which reproduces the
+    /// legacy behavior exactly; see [`ResourceBudget`].
+    pub resources: ResourceBudget,
 }
 
 impl Default for RejectoConfig {
@@ -120,6 +125,7 @@ impl Default for RejectoConfig {
             threads: 0,
             budget: RunBudget::unlimited(),
             faults: FaultPlan::none(),
+            resources: ResourceBudget::unlimited(),
         }
     }
 }

@@ -50,6 +50,11 @@ pub enum InterruptReason {
     PassBudget,
     /// The round budget ([`crate::RunBudget::max_rounds`]) was reached.
     RoundBudget,
+    /// A resource ceiling ([`crate::ResourceBudget::max_suspect_frac`])
+    /// would have been exceeded by accepting the round's cut; the round
+    /// was rolled back. Unlike the wall-clock reasons this trip is a pure
+    /// function of input and configuration, so it is deterministic.
+    ResourceBudget,
     /// The run was cancelled explicitly.
     Cancelled,
 }
@@ -421,6 +426,38 @@ impl IterativeDetector {
                 };
                 break;
             }
+            // Resource budget: would accepting this round's cut condemn
+            // more of the *original* graph than `max_suspect_frac` allows?
+            // Checked before the round is counted so the rollback leaves
+            // no trace in the report; the trip is a pure function of input
+            // and configuration, so it is deterministic (and safe for the
+            // deterministic `res/*` counter below).
+            // A cut the threshold check would discard anyway cannot trip
+            // the budget: the run stops Complete there, not Partial.
+            let would_accept = |cut: &crate::MaarCut| -> bool {
+                threshold.is_none_or(|t| cut.acceptance_rate <= t)
+            };
+            if let (Some(frac), Some(cut)) =
+                (config.resources.max_suspect_frac, outcome.cut.as_ref().filter(|c| would_accept(c)))
+            {
+                let after = report
+                    .num_suspects()
+                    .checked_add(cut.suspects().len())
+                    .expect("suspect count fits in usize");
+                let cap = frac * g.num_nodes() as f64; // xtask-allow: lossy-cast: n < 2^53 converts exactly
+                if after as f64 > cap { // xtask-allow: lossy-cast: suspect count < 2^53 converts exactly
+                    report.rounds -= 1;
+                    if let Some(obs) = &self.obs {
+                        obs.incr("res/suspect_frac_trips", 1);
+                    }
+                    completion = Completion::Partial {
+                        completed_rounds: report.rounds,
+                        completed_k_indices: Vec::new(),
+                        reason: InterruptReason::ResourceBudget,
+                    };
+                    break;
+                }
+            }
             // The round ran its sweep to completion — interrupted rounds
             // (deadline, pass budget) are scheduling-dependent and must
             // not reach the deterministic counters.
@@ -713,6 +750,88 @@ mod tests {
         }
         assert_eq!(report.rounds, 0, "a zero deadline stops before round 1");
         assert!(report.groups.is_empty());
+    }
+
+    #[test]
+    fn suspect_frac_budget_rolls_back_the_offending_round() {
+        use crate::ResourceBudget;
+        let g = self_rejection_scenario();
+        let full = IterativeDetector::new(RejectoConfig::default()).detect(
+            &g,
+            &Seeds::default(),
+            Termination::SuspectBudget(8),
+        );
+        assert!(full.groups.len() >= 2, "scenario must take multiple rounds");
+
+        // Cap at 30% of 8 nodes = 2.4: round 1 (2 suspects) is admitted,
+        // round 2 would push the total to 4 and is rolled back.
+        let config = RejectoConfig {
+            resources: ResourceBudget {
+                max_suspect_frac: Some(0.3),
+                ..ResourceBudget::unlimited()
+            },
+            ..RejectoConfig::default()
+        };
+        let capped = IterativeDetector::new(config).detect(
+            &g,
+            &Seeds::default(),
+            Termination::SuspectBudget(8),
+        );
+        assert_eq!(capped.groups, full.groups[..1], "admitted rounds must match the full run");
+        assert_eq!(capped.rounds, 1, "the tripped round is rolled back");
+        match &capped.completion {
+            Completion::Partial { completed_rounds, completed_k_indices, reason } => {
+                assert_eq!(*completed_rounds, 1);
+                assert!(completed_k_indices.is_empty());
+                assert_eq!(*reason, InterruptReason::ResourceBudget);
+            }
+            other => panic!("expected Partial, got {other:?}"),
+        }
+
+        // A budget nothing fits under rolls back round 1 itself.
+        let config = RejectoConfig {
+            resources: ResourceBudget {
+                max_suspect_frac: Some(0.1),
+                ..ResourceBudget::unlimited()
+            },
+            ..RejectoConfig::default()
+        };
+        let empty = IterativeDetector::new(config).detect(
+            &g,
+            &Seeds::default(),
+            Termination::SuspectBudget(8),
+        );
+        assert!(empty.groups.is_empty());
+        assert_eq!(empty.rounds, 0);
+        assert!(matches!(
+            empty.completion,
+            Completion::Partial { reason: InterruptReason::ResourceBudget, .. }
+        ));
+    }
+
+    #[test]
+    fn suspect_frac_budget_is_deterministic_across_threads() {
+        use crate::ResourceBudget;
+        let g = self_rejection_scenario();
+        let reports: Vec<DetectionReport> = [1usize, 4]
+            .into_iter()
+            .map(|threads| {
+                let config = RejectoConfig {
+                    threads,
+                    resources: ResourceBudget {
+                        max_suspect_frac: Some(0.3),
+                        ..ResourceBudget::unlimited()
+                    },
+                    ..RejectoConfig::default()
+                };
+                IterativeDetector::new(config).detect(
+                    &g,
+                    &Seeds::default(),
+                    Termination::SuspectBudget(8),
+                )
+            })
+            .collect();
+        assert_eq!(reports[0], reports[1], "resource trips must not depend on thread count");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! [`FaultInjector`] built from it. An empty plan is free: every probe is
 //! a single cheap check against an empty table.
 
+use std::fmt;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -83,10 +84,77 @@ pub enum Fault {
     },
 }
 
+impl Fault {
+    /// The injection point this fault occupies, as a `(kind, position)`
+    /// key. [`FaultPlan::parse`] rejects two directives with the same key:
+    /// which one "wins" would otherwise be silent order-dependence. Both
+    /// store mangles share a key — the checkpoint store consumes exactly
+    /// one mangle per generation write, so `torn_write` and `bit_flip` at
+    /// the same round *conflict* rather than compose. Likewise only one
+    /// deadline directive is admitted; "tightest wins" stays documented
+    /// behavior for plans built programmatically via [`FaultPlan::push`].
+    pub(crate) fn injection_point(&self) -> (&'static str, u64) {
+        match *self {
+            Fault::WorkerPanic { k_index, .. } => {
+                ("worker_panic", u64::try_from(k_index).expect("sweep index fits in u64"))
+            }
+            Fault::CheckpointIoError { round } => {
+                ("io_error", u64::try_from(round).expect("round fits in u64"))
+            }
+            Fault::Deadline { .. } => ("deadline", 0),
+            Fault::WorkerDeath { fetch, .. } => ("worker_death", fetch),
+            Fault::WorkerHang { k_index } => {
+                ("worker_hang", u64::try_from(k_index).expect("sweep index fits in u64"))
+            }
+            Fault::TornWrite { round } | Fault::BitFlip { round } => {
+                ("store mangle", u64::try_from(round).expect("round fits in u64"))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    /// Renders the exact [`FaultPlan::parse`] grammar, so plans round-trip:
+    /// `parse(plan.to_string()) == plan` for every parseable plan.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Fault::WorkerPanic { k_index, persistent: false } => {
+                write!(f, "worker_panic@k={k_index}")
+            }
+            Fault::WorkerPanic { k_index, persistent: true } => {
+                write!(f, "worker_panic@k={k_index}:always")
+            }
+            Fault::CheckpointIoError { round } => write!(f, "io_error@round={round}"),
+            Fault::Deadline { millis } => write!(f, "deadline={millis}ms"),
+            Fault::WorkerDeath { fetch, deaths: 1 } => write!(f, "worker_death@fetch={fetch}"),
+            Fault::WorkerDeath { fetch, deaths } => {
+                write!(f, "worker_death@fetch={fetch}:x{deaths}")
+            }
+            Fault::WorkerHang { k_index } => write!(f, "worker_hang@k={k_index}"),
+            Fault::TornWrite { round } => write!(f, "torn_write@round={round}"),
+            Fault::BitFlip { round } => write!(f, "bit_flip@round={round}"),
+        }
+    }
+}
+
 /// A declarative list of faults to arm for one run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     faults: Vec<Fault>,
+}
+
+impl fmt::Display for FaultPlan {
+    /// The comma-separated [`FaultPlan::parse`] syntax; the empty plan
+    /// renders as the empty string.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        Ok(())
+    }
 }
 
 impl FaultPlan {
@@ -105,9 +173,28 @@ impl FaultPlan {
         &self.faults
     }
 
-    /// Adds a fault to the plan.
+    /// Adds a fault to the plan. Unlike [`FaultPlan::parse`], `push` does
+    /// not police injection-point conflicts: programmatic plans may rely
+    /// on documented runtime semantics (e.g. tightest-deadline-wins).
     pub fn push(&mut self, fault: Fault) {
         self.faults.push(fault);
+    }
+
+    /// [`FaultPlan::push`] for parsed directives: rejects a fault whose
+    /// injection point an earlier directive already claimed, instead of
+    /// the silent last-wins (or first-wins, depending on the consumer)
+    /// order-dependence the plan text would otherwise have.
+    fn push_directive(&mut self, fault: Fault, part: &str) -> Result<(), String> {
+        let key = fault.injection_point();
+        if let Some(prior) = self.faults.iter().find(|f| f.injection_point() == key) {
+            return Err(format!(
+                "conflicting directive `{part}`: `{prior}` already arms the \
+                 {} injection point",
+                key.0
+            ));
+        }
+        self.faults.push(fault);
+        Ok(())
     }
 
     /// Parses the CLI/env injection syntax: a comma-separated list of
@@ -136,7 +223,7 @@ impl FaultPlan {
                 let k_index = num.parse::<usize>().map_err(|_| {
                     format!("bad sweep index in `{part}`: expected worker_panic@k=<index>")
                 })?;
-                plan.push(Fault::WorkerPanic { k_index, persistent });
+                plan.push_directive(Fault::WorkerPanic { k_index, persistent }, part)?;
             } else if let Some(rest) = part.strip_prefix("io_error@round=") {
                 let round = rest.parse::<usize>().map_err(|_| {
                     format!("bad round in `{part}`: expected io_error@round=<round>")
@@ -144,13 +231,13 @@ impl FaultPlan {
                 if round == 0 {
                     return Err(format!("bad round in `{part}`: rounds are 1-based"));
                 }
-                plan.push(Fault::CheckpointIoError { round });
+                plan.push_directive(Fault::CheckpointIoError { round }, part)?;
             } else if let Some(rest) = part.strip_prefix("deadline=") {
                 let digits = rest.strip_suffix("ms").unwrap_or(rest);
                 let millis = digits.parse::<u64>().map_err(|_| {
                     format!("bad deadline in `{part}`: expected deadline=<millis>ms")
                 })?;
-                plan.push(Fault::Deadline { millis });
+                plan.push_directive(Fault::Deadline { millis }, part)?;
             } else if let Some(rest) = part.strip_prefix("worker_death@fetch=") {
                 let (num, deaths) = match rest.split_once(":x") {
                     Some((n, m)) => {
@@ -170,17 +257,20 @@ impl FaultPlan {
                     None => (rest, 1),
                 };
                 let fetch = num.parse::<u64>().map_err(|_| {
-                    format!("bad fetch number in `{part}`: expected worker_death@fetch=<n>")
+                    format!(
+                        "bad fetch number in `{part}`: expected \
+                         worker_death@fetch=<n> or worker_death@fetch=<n>:x<m>"
+                    )
                 })?;
                 if fetch == 0 {
                     return Err(format!("bad fetch number in `{part}`: fetches are 1-based"));
                 }
-                plan.push(Fault::WorkerDeath { fetch, deaths });
+                plan.push_directive(Fault::WorkerDeath { fetch, deaths }, part)?;
             } else if let Some(rest) = part.strip_prefix("worker_hang@k=") {
                 let k_index = rest.parse::<usize>().map_err(|_| {
                     format!("bad sweep index in `{part}`: expected worker_hang@k=<index>")
                 })?;
-                plan.push(Fault::WorkerHang { k_index });
+                plan.push_directive(Fault::WorkerHang { k_index }, part)?;
             } else if let Some(rest) = part.strip_prefix("torn_write@round=") {
                 let round = rest.parse::<usize>().map_err(|_| {
                     format!("bad round in `{part}`: expected torn_write@round=<round>")
@@ -188,7 +278,7 @@ impl FaultPlan {
                 if round == 0 {
                     return Err(format!("bad round in `{part}`: rounds are 1-based"));
                 }
-                plan.push(Fault::TornWrite { round });
+                plan.push_directive(Fault::TornWrite { round }, part)?;
             } else if let Some(rest) = part.strip_prefix("bit_flip@round=") {
                 let round = rest.parse::<usize>().map_err(|_| {
                     format!("bad round in `{part}`: expected bit_flip@round=<round>")
@@ -196,7 +286,7 @@ impl FaultPlan {
                 if round == 0 {
                     return Err(format!("bad round in `{part}`: rounds are 1-based"));
                 }
-                plan.push(Fault::BitFlip { round });
+                plan.push_directive(Fault::BitFlip { round }, part)?;
             } else {
                 return Err(format!(
                     "unknown fault `{part}`: expected worker_panic@k=<i>[:always], \
@@ -684,9 +774,109 @@ mod tests {
 
     #[test]
     fn tightest_injected_deadline_wins() {
-        let plan = FaultPlan::parse("deadline=80ms,deadline=50ms,deadline=90ms")
-            .expect("spec is well-formed");
+        // parse() rejects duplicate deadline directives, so multi-deadline
+        // plans can only be built programmatically; the injector still
+        // keeps the tightest.
+        let mut plan = FaultPlan::none();
+        plan.push(Fault::Deadline { millis: 80 });
+        plan.push(Fault::Deadline { millis: 50 });
+        plan.push(Fault::Deadline { millis: 90 });
         let inj = FaultInjector::new(&plan);
         assert_eq!(inj.deadline(), Some(Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn duplicate_directives_for_one_injection_point_are_rejected() {
+        for spec in [
+            "worker_panic@k=3,worker_panic@k=3:always",
+            "io_error@round=2,io_error@round=2",
+            "deadline=80ms,deadline=50ms",
+            "worker_death@fetch=2,worker_death@fetch=2:x5",
+            "worker_hang@k=1,worker_hang@k=1",
+            "torn_write@round=2,torn_write@round=2",
+            "bit_flip@round=3,bit_flip@round=3",
+            // torn_write and bit_flip share the store's one-mangle-per-
+            // round injection point, so they conflict rather than compose.
+            "torn_write@round=2,bit_flip@round=2",
+        ] {
+            let err = FaultPlan::parse(spec).expect_err("conflicting spec must be rejected");
+            assert!(err.contains("conflicting directive"), "{spec}: {err}");
+            assert!(err.contains("already arms"), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn distinct_injection_points_do_not_conflict() {
+        let plan = FaultPlan::parse(
+            "worker_panic@k=1,worker_panic@k=2,io_error@round=1,io_error@round=2,\
+             torn_write@round=1,bit_flip@round=2",
+        )
+        .expect("distinct points are fine");
+        assert_eq!(plan.faults().len(), 6);
+    }
+
+    #[test]
+    fn worker_death_hint_names_both_forms() {
+        let err = FaultPlan::parse("worker_death@fetch=nope").expect_err("malformed");
+        assert!(err.contains("worker_death@fetch=<n>"), "{err}");
+        assert!(err.contains("worker_death@fetch=<n>:x<m>"), "{err}");
+    }
+
+    #[test]
+    fn display_renders_the_parse_grammar() {
+        let spec = "worker_panic@k=3:always,io_error@round=2,deadline=50ms,\
+                    worker_death@fetch=7,worker_death@fetch=2:x5,worker_hang@k=3,\
+                    torn_write@round=1,bit_flip@round=4";
+        let plan = FaultPlan::parse(spec).expect("spec is well-formed");
+        assert_eq!(plan.to_string(), spec.replace(char::is_whitespace, ""));
+        assert_eq!(FaultPlan::none().to_string(), "");
+    }
+
+    proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(128))]
+
+        /// Render ↔ parse round-trip: any conflict-free plan survives
+        /// `parse(render(plan))` exactly.
+        #[test]
+        fn display_parse_round_trips(plan in arbitrary_plan()) {
+            let rendered = plan.to_string();
+            let reparsed = FaultPlan::parse(&rendered)
+                .map_err(|e| format!("rendered plan must reparse: {rendered}: {e}"))?;
+            prop_assert_eq!(&reparsed, &plan, "{}", rendered);
+        }
+    }
+
+    use proptest::prelude::*;
+
+    /// A conflict-free random plan: distinct injection points by
+    /// construction (indices are spread across disjoint ranges per kind).
+    fn arbitrary_plan() -> impl Strategy<Value = FaultPlan> {
+        proptest::collection::vec((0u8..7, 1u64..9, any::<bool>()), 0..8).prop_map(|specs| {
+            let mut plan = FaultPlan::none();
+            for (kind, at, flag) in specs {
+                let fault = match kind {
+                    0 => Fault::WorkerPanic {
+                        k_index: usize::try_from(at).expect("small index"),
+                        persistent: flag,
+                    },
+                    1 => Fault::CheckpointIoError {
+                        round: usize::try_from(at).expect("small round"),
+                    },
+                    2 => Fault::Deadline { millis: at },
+                    3 => Fault::WorkerDeath {
+                        fetch: at,
+                        deaths: if flag { 3 } else { 1 },
+                    },
+                    4 => Fault::WorkerHang { k_index: usize::try_from(at).expect("small index") },
+                    5 => Fault::TornWrite { round: usize::try_from(at).expect("small round") },
+                    _ => Fault::BitFlip { round: usize::try_from(at).expect("small round") },
+                };
+                let key = fault.injection_point();
+                if !plan.faults().iter().any(|f| f.injection_point() == key) {
+                    plan.push(fault);
+                }
+            }
+            plan
+        })
     }
 }

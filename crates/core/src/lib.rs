@@ -37,6 +37,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod checkpoint;
 mod config;
 mod detect;
@@ -46,9 +47,11 @@ pub mod faults;
 pub mod invariants;
 mod maar;
 mod pool;
+pub mod resources;
 mod runtime;
 pub mod store;
 
+pub use chaos::{ChaosPlan, ChaosProfile, ChaosRng};
 pub use checkpoint::{Checkpoint, CheckpointGroup, CHECKPOINT_FORMAT, CHECKPOINT_VERSION};
 pub use config::{InitialPlacement, RejectoConfig, RunBudget};
 pub use detect::{
@@ -60,6 +63,7 @@ pub use faults::{ClusterFaults, Fault, FaultPlan, Mangle, StoreFaults};
 /// parameter [`DetectedGroup::k`] carries without depending on `kl`.
 pub use kl::KParam;
 pub use maar::{MaarCut, MaarSolver};
+pub use resources::ResourceBudget;
 pub use runtime::RuntimeError;
 pub use store::{
     CheckpointStore, StoreError, StoreResume, DEFAULT_CHECKPOINT_KEEP,

@@ -1,0 +1,154 @@
+//! Resource budgets: hard ceilings on how much an input may make the
+//! runtime allocate.
+//!
+//! Rejecto's input graph is *attacker-shaped* (PAPER.md §1): fakes control
+//! a large fraction of the edges they appear in, and a hostile operator
+//! export (or a corrupted one) can declare absurd node counts, repeat
+//! edges without bound, or inflate checkpoint artifacts. The existing
+//! [`crate::RunBudget`] bounds *time* (deadline, passes, rounds); a
+//! [`ResourceBudget`] bounds *space and structure*. Where `RunBudget`
+//! trips become [`crate::Completion::Partial`], `ResourceBudget` trips on
+//! ingest become the typed
+//! [`crate::RuntimeError::ResourceExhausted`] — refusing the input is the
+//! only safe degradation before anything was computed — while the
+//! in-loop `max_suspect_frac` trip rolls the round back and reports
+//! `Partial`, exactly like a round budget.
+
+use rejection::io::IngestGuards;
+
+/// Optional ceilings on input size and in-run growth. The default is
+/// fully unlimited, which reproduces the historical behavior exactly.
+///
+/// Threaded alongside [`crate::RunBudget`] through the loaders (via
+/// [`ResourceBudget::ingest_guards`]), the checkpoint store
+/// (`max_checkpoint_bytes`), and the detection loop (`max_suspect_frac`).
+/// Surfaced on the CLI as `--max-nodes`, `--max-edges`,
+/// `--max-rejections`, `--max-checkpoint-bytes`, `--max-suspect-frac`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResourceBudget {
+    /// Maximum node count an input may declare.
+    pub max_nodes: Option<u64>,
+    /// Maximum friendship-edge lines an input may carry.
+    pub max_edges: Option<u64>,
+    /// Maximum rejection-edge lines an input may carry.
+    pub max_rejections: Option<u64>,
+    /// Maximum size of a checkpoint artifact, both when writing and before
+    /// a resume reads one back (gated on file metadata, before the bytes
+    /// are loaded).
+    pub max_checkpoint_bytes: Option<u64>,
+    /// Hard ceiling on the cumulative suspect fraction across pruning
+    /// rounds: if accepting a round's cut would push
+    /// `total suspects / initial nodes` past this, the round is rolled
+    /// back and the run reports `Partial`. Distinct from
+    /// [`crate::RejectoConfig::max_suspect_fraction`], which discards
+    /// individual over-wide *candidate cuts* inside a sweep; this budget
+    /// bounds what the whole run may condemn.
+    pub max_suspect_frac: Option<f64>,
+}
+
+impl ResourceBudget {
+    /// No ceilings — the historical run-anything behavior.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        ResourceBudget::default()
+    }
+
+    /// Whether any ceiling is armed.
+    #[must_use]
+    pub fn is_limited(&self) -> bool {
+        self.max_nodes.is_some()
+            || self.max_edges.is_some()
+            || self.max_rejections.is_some()
+            || self.max_checkpoint_bytes.is_some()
+            || self.max_suspect_frac.is_some()
+    }
+
+    /// The loader-side guards this budget implies (node/edge/rejection
+    /// ceilings; conflict rejection stays a separate loader policy).
+    #[must_use]
+    pub fn ingest_guards(&self) -> IngestGuards {
+        IngestGuards {
+            max_nodes: self.max_nodes,
+            max_friendships: self.max_edges,
+            max_rejections: self.max_rejections,
+            reject_conflicts: false,
+        }
+    }
+
+    /// Translates a loader budget failure into the runtime taxonomy,
+    /// passing every other loader error through unchanged.
+    pub fn runtime_error_from_ingest(
+        e: &rejection::io::AugmentedIoError,
+    ) -> Option<crate::RuntimeError> {
+        match e {
+            rejection::io::AugmentedIoError::ResourceExhausted { resource, limit, observed } => {
+                Some(crate::RuntimeError::ResourceExhausted {
+                    resource,
+                    limit: *limit,
+                    observed: *observed,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited() {
+        assert!(!ResourceBudget::default().is_limited());
+        assert!(!ResourceBudget::unlimited().is_limited());
+        assert!(!ResourceBudget::default().ingest_guards().is_active());
+    }
+
+    #[test]
+    fn each_ceiling_arms_the_budget() {
+        let cases = [
+            ResourceBudget { max_nodes: Some(1), ..ResourceBudget::default() },
+            ResourceBudget { max_edges: Some(1), ..ResourceBudget::default() },
+            ResourceBudget { max_rejections: Some(1), ..ResourceBudget::default() },
+            ResourceBudget { max_checkpoint_bytes: Some(1), ..ResourceBudget::default() },
+            ResourceBudget { max_suspect_frac: Some(0.5), ..ResourceBudget::default() },
+        ];
+        for b in cases {
+            assert!(b.is_limited(), "{b:?}");
+        }
+    }
+
+    #[test]
+    fn ingest_guards_carry_the_loader_ceilings() {
+        let b = ResourceBudget {
+            max_nodes: Some(10),
+            max_edges: Some(20),
+            max_rejections: Some(30),
+            ..ResourceBudget::default()
+        };
+        let g = b.ingest_guards();
+        assert_eq!(g.max_nodes, Some(10));
+        assert_eq!(g.max_friendships, Some(20));
+        assert_eq!(g.max_rejections, Some(30));
+        assert!(!g.reject_conflicts);
+    }
+
+    #[test]
+    fn ingest_budget_errors_map_into_the_runtime_taxonomy() {
+        let e = rejection::io::AugmentedIoError::ResourceExhausted {
+            resource: "nodes",
+            limit: 4,
+            observed: 5,
+        };
+        assert_eq!(
+            ResourceBudget::runtime_error_from_ingest(&e),
+            Some(crate::RuntimeError::ResourceExhausted {
+                resource: "nodes",
+                limit: 4,
+                observed: 5
+            })
+        );
+        let other = rejection::io::AugmentedIoError::BadHeader { found: "x".to_string() };
+        assert_eq!(ResourceBudget::runtime_error_from_ingest(&other), None);
+    }
+}

@@ -74,6 +74,20 @@ pub enum RuntimeError {
         /// The underlying error, rendered.
         message: String,
     },
+    /// An input or artifact would grow a resource past an explicit
+    /// [`crate::ResourceBudget`] limit (or a structural ceiling such as the
+    /// `u32` dense-id space), so the runtime refused to keep allocating.
+    /// Over-budget growth surfaces here instead of ballooning memory until
+    /// the allocator aborts.
+    ResourceExhausted {
+        /// Which resource ran out (`"nodes"`, `"edges"`, `"rejections"`,
+        /// `"checkpoint bytes"`, `"suspect fraction"`, ...).
+        resource: &'static str,
+        /// The configured (or structural) limit.
+        limit: u64,
+        /// The observed demand that exceeded it.
+        observed: u64,
+    },
     /// A checkpoint artifact exists but failed its integrity check (bad
     /// frame magic, truncation, checksum mismatch, or an unparsable
     /// payload); resume skipped it and fell back to an older generation
@@ -114,6 +128,10 @@ impl fmt::Display for RuntimeError {
             RuntimeError::StoreFailed { path, op, message } => {
                 write!(f, "durable store {op} failed for {path}: {message}")
             }
+            RuntimeError::ResourceExhausted { resource, limit, observed } => write!(
+                f,
+                "resource budget exhausted: {resource}: observed {observed} exceeds limit {limit}"
+            ),
             RuntimeError::CheckpointCorrupt { path, offset, message } => {
                 write!(f, "corrupt checkpoint {path} (byte {offset}): {message}")
             }
@@ -169,5 +187,10 @@ mod tests {
 
         let c = RuntimeError::ClusterFailed { message: "all workers lost".to_string() };
         assert!(c.to_string().contains("all workers lost"));
+
+        let r = RuntimeError::ResourceExhausted { resource: "nodes", limit: 8, observed: 9 };
+        let s = r.to_string();
+        assert!(s.contains("nodes"), "{s}");
+        assert!(s.contains("9 exceeds limit 8"), "{s}");
     }
 }

@@ -81,6 +81,18 @@ pub enum StoreError {
         /// How many generations were examined and rejected.
         skipped: usize,
     },
+    /// An artifact's size exceeds the store's `max_checkpoint_bytes`
+    /// budget. On save the oversized frame is never written; on load the
+    /// size is gated on file metadata *before* the bytes are read, so a
+    /// hostile multi-gigabyte artifact cannot balloon memory.
+    OverBudget {
+        /// Path of the over-budget artifact.
+        path: String,
+        /// The configured byte budget.
+        limit: u64,
+        /// The artifact's (or encoded frame's) size in bytes.
+        observed: u64,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -96,6 +108,10 @@ impl fmt::Display for StoreError {
                 f,
                 "{stem}: no valid checkpoint generation ({skipped} candidate(s) \
                  corrupt or unreadable)"
+            ),
+            StoreError::OverBudget { path, limit, observed } => write!(
+                f,
+                "{path}: checkpoint size {observed} exceeds the {limit}-byte budget"
             ),
         }
     }
@@ -121,6 +137,11 @@ impl From<StoreError> for RuntimeError {
                     "no valid checkpoint generation ({skipped} candidate(s) corrupt \
                      or unreadable)"
                 ),
+            },
+            StoreError::OverBudget { limit, observed, .. } => RuntimeError::ResourceExhausted {
+                resource: "checkpoint bytes",
+                limit,
+                observed,
             },
         }
     }
@@ -429,6 +450,7 @@ pub struct CheckpointStore {
     keep: usize,
     faults: StoreFaults,
     obs: Option<rejecto_obs::Obs>,
+    limit: Option<u64>,
 }
 
 impl CheckpointStore {
@@ -440,6 +462,7 @@ impl CheckpointStore {
             keep: DEFAULT_CHECKPOINT_KEEP,
             faults: StoreFaults::default(),
             obs: None,
+            limit: None,
         }
     }
 
@@ -464,6 +487,16 @@ impl CheckpointStore {
     #[must_use]
     pub fn with_obs(mut self, obs: rejecto_obs::Obs) -> Self {
         self.obs = Some(obs);
+        self
+    }
+
+    /// Arms a `max_checkpoint_bytes` budget
+    /// ([`crate::ResourceBudget::max_checkpoint_bytes`]): saves refuse to
+    /// write a larger frame, and loads refuse (on file metadata, before
+    /// reading) to pull a larger artifact into memory. `None` disarms.
+    #[must_use]
+    pub fn with_limit(mut self, limit: Option<u64>) -> Self {
+        self.limit = limit;
         self
     }
 
@@ -497,6 +530,10 @@ impl CheckpointStore {
         let gen_path = self.generation_path(round);
         let payload = format!("{}\n", ckpt.to_json());
         let mut bytes = encode_frame(payload.as_bytes());
+        self.check_budget(
+            &gen_path,
+            u64::try_from(bytes.len()).expect("frame size fits in u64"),
+        )?;
         if let Some(mangle) = self.faults.take_mangle(round) {
             apply_mangle(&mut bytes, mangle);
         }
@@ -580,8 +617,28 @@ impl CheckpointStore {
         })
     }
 
+    /// Fails when `observed` bytes exceed the armed `max_checkpoint_bytes`
+    /// budget, counting the refusal in the volatile `res/*` tallies.
+    fn check_budget(&self, path: &Path, observed: u64) -> Result<(), StoreError> {
+        if let Some(limit) = self.limit {
+            if observed > limit {
+                if let Some(obs) = &self.obs {
+                    obs.volatile_incr("res/ckpt_over_budget", 1);
+                }
+                return Err(StoreError::OverBudget {
+                    path: path.display().to_string(),
+                    limit,
+                    observed,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Reads and fully validates one generation file.
     fn load_generation(&self, path: &Path) -> Result<Checkpoint, StoreError> {
+        let meta = std::fs::metadata(path).map_err(|e| io_err(path, "stat", &e))?;
+        self.check_budget(path, meta.len())?;
         let bytes = std::fs::read(path).map_err(|e| io_err(path, "read", &e))?;
         let payload = decode_frame(&bytes).map_err(|e| StoreError::Corrupt {
             path: path.display().to_string(),
@@ -604,6 +661,8 @@ impl CheckpointStore {
     /// framed if it carries the magic, legacy raw JSON otherwise.
     fn load_plain(&self) -> Result<StoreResume, StoreError> {
         let path = &self.stem;
+        let meta = std::fs::metadata(path).map_err(|e| io_err(path, "stat", &e))?;
+        self.check_budget(path, meta.len())?;
         let bytes = std::fs::read(path).map_err(|e| io_err(path, "read", &e))?;
         let text = if bytes.starts_with(FRAME_MAGIC.as_bytes()) {
             let payload = decode_frame(&bytes).map_err(|e| StoreError::Corrupt {
@@ -858,6 +917,50 @@ mod tests {
         assert_eq!(resume.checkpoint.rounds, 3);
         assert_eq!(resume.path, store.generation_path(3));
         assert!(!resume.fell_back());
+    }
+
+    #[test]
+    fn save_refuses_an_over_budget_frame_before_writing() {
+        let dir = tmpdir("save-budget");
+        let store = CheckpointStore::new(dir.join("run.ckpt")).with_limit(Some(16));
+        let err = store.save(&sample_checkpoint(1)).expect_err("frame exceeds 16 bytes");
+        match &err {
+            StoreError::OverBudget { limit, observed, .. } => {
+                assert_eq!(*limit, 16);
+                assert!(*observed > 16);
+            }
+            other => panic!("expected OverBudget, got {other:?}"),
+        }
+        assert!(!store.generation_path(1).exists(), "refused frame must not be written");
+        // The refusal maps into the runtime taxonomy as resource exhaustion.
+        let rt: RuntimeError = err.into();
+        match rt {
+            RuntimeError::ResourceExhausted { resource, .. } => {
+                assert_eq!(resource, "checkpoint bytes");
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_gates_on_file_size_before_reading_the_bytes() {
+        let dir = tmpdir("load-budget");
+        let stem = dir.join("run.ckpt");
+        CheckpointStore::new(&stem).save(&sample_checkpoint(1)).expect("save succeeds");
+        CheckpointStore::new(&stem).save(&sample_checkpoint(2)).expect("save succeeds");
+        // Reopening with a tiny budget rejects every on-disk generation at
+        // the metadata gate; the chain exhausts to a typed error rather
+        // than reading (let alone parsing) oversized bytes.
+        let bounded = CheckpointStore::new(&stem).with_limit(Some(4));
+        let err = bounded.load_latest_valid().expect_err("all generations over budget");
+        match err {
+            StoreError::NoValidGeneration { skipped, .. } => assert_eq!(skipped, 2),
+            other => panic!("expected NoValidGeneration, got {other:?}"),
+        }
+        // A budget above the artifact size loads normally.
+        let roomy = CheckpointStore::new(&stem).with_limit(Some(1 << 20));
+        let resume = roomy.load_latest_valid().expect("within budget loads");
+        assert_eq!(resume.checkpoint.rounds, 2);
     }
 
     #[test]

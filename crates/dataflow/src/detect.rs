@@ -339,6 +339,36 @@ impl DistributedDetector {
                 };
                 break;
             }
+            // Resource budget — statement-for-statement mirror of the core
+            // detector's check: would accepting this round's cut condemn
+            // more of the *original* graph than `max_suspect_frac` allows?
+            // Checked before the round is counted so the rollback leaves no
+            // trace in the report, and skipped for cuts the threshold would
+            // discard anyway (the run stops Complete there, not Partial).
+            // The trip is a pure function of input and configuration, so it
+            // is deterministic across worker counts.
+            if let (Some(frac), Some(ac)) =
+                (config.resources.max_suspect_frac, outcome.acceptance_rate)
+            {
+                let admissible = threshold.is_none_or(|t| ac <= t);
+                let after = report
+                    .num_suspects()
+                    .checked_add(outcome.suspects.len())
+                    .expect("suspect count fits in usize");
+                let cap = frac * g.num_nodes() as f64;
+                if admissible && after as f64 > cap {
+                    report.rounds -= 1;
+                    if let Some(obs) = &self.obs {
+                        obs.incr("res/suspect_frac_trips", 1);
+                    }
+                    completion = Completion::Partial {
+                        completed_rounds: report.rounds,
+                        completed_k_indices: Vec::new(),
+                        reason: InterruptReason::ResourceBudget,
+                    };
+                    break;
+                }
+            }
             // Only completed rounds count — same rule as the core
             // detector, so interrupted (scheduling-dependent) rounds never
             // reach the deterministic counters.

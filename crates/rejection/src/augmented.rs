@@ -113,7 +113,8 @@ impl AugmentedGraph {
 
     /// Iterator over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.friends.len() as u32).map(NodeId)
+        let n = u32::try_from(self.friends.len()).expect("node count fits the u32 id space");
+        (0..n).map(NodeId)
     }
 
     /// Per-node request *rejection ratio*: rejections received over
@@ -127,8 +128,8 @@ impl AugmentedGraph {
     ///
     /// Panics if `u` is out of range.
     pub fn rejection_ratio(&self, u: NodeId) -> Option<f64> {
-        let f = self.friend_degree(u) as f64;
-        let r = self.rejections_received(u) as f64;
+        let f = self.friend_degree(u) as f64; // xtask-allow: lossy-cast: a degree is < 2^53 and converts exactly
+        let r = self.rejections_received(u) as f64; // xtask-allow: lossy-cast: a degree is < 2^53 and converts exactly
         if f + r == 0.0 {
             None
         } else {
@@ -150,13 +151,14 @@ impl AugmentedGraph {
         let mut original = Vec::new();
         for u in self.nodes() {
             if keep[u.index()] {
-                new_id[u.index()] = original.len() as u32;
+                new_id[u.index()] =
+                    u32::try_from(original.len()).expect("kept node count fits the u32 id space");
                 original.push(u);
             }
         }
         let mut b = AugmentedGraphBuilder::new(original.len());
         for (i, &orig) in original.iter().enumerate() {
-            let i = NodeId(i as u32);
+            let i = NodeId::from_index(i);
             for &v in self.friends(orig) {
                 let nv = new_id[v.index()];
                 if nv != u32::MAX && orig < v {
@@ -269,20 +271,51 @@ impl AugmentedGraphBuilder {
         self.rejectors_of_me[rejectee.index()].push(rejector);
     }
 
+    /// Whether the friendship `(u, v)` has already been recorded (either
+    /// endpoint order). Loaders use this to give hostile inputs a typed
+    /// duplicate-edge rejection instead of silently collapsing at build
+    /// time. `O(deg)` probe over the unsorted pending list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn contains_friendship(&self, u: NodeId, v: NodeId) -> bool {
+        self.friends[u.index()].contains(&v)
+    }
+
+    /// Whether the directed rejection `⟨rejector, rejectee⟩` has already
+    /// been recorded. Loaders use this to reject duplicate rejection lines
+    /// and friend+rejection conflicts with a typed error. `O(deg)` probe
+    /// over the unsorted pending list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rejector` is out of range.
+    pub fn contains_rejection(&self, rejector: NodeId, rejectee: NodeId) -> bool {
+        self.rejected_by_me[rejector.index()].contains(&rejectee)
+    }
+
     /// Finalizes into an immutable [`AugmentedGraph`], sorting and
     /// deduplicating all adjacency lists.
+    ///
+    /// Edge counting uses checked arithmetic end to end: a hostile input
+    /// cannot wrap the degree sums into silently-wrong totals.
     pub fn build(mut self) -> AugmentedGraph {
         let mut num_friendships = 0u64;
         for list in &mut self.friends {
             list.sort_unstable();
             list.dedup();
-            num_friendships += list.len() as u64;
+            let deg = u64::try_from(list.len()).expect("degree fits in u64");
+            num_friendships =
+                num_friendships.checked_add(deg).expect("friendship degree sum fits in u64");
         }
         let mut num_rejections = 0u64;
         for list in &mut self.rejected_by_me {
             list.sort_unstable();
             list.dedup();
-            num_rejections += list.len() as u64;
+            let deg = u64::try_from(list.len()).expect("degree fits in u64");
+            num_rejections =
+                num_rejections.checked_add(deg).expect("rejection degree sum fits in u64");
         }
         for list in &mut self.rejectors_of_me {
             list.sort_unstable();

@@ -42,6 +42,35 @@ pub enum AugmentedIoError {
         /// The offending id.
         node: u32,
     },
+    /// A structurally valid edge line that a well-formed export never
+    /// contains: a self-loop, an exact duplicate of an earlier edge, or
+    /// (when [`IngestGuards::reject_conflicts`] is set) a friendship that
+    /// contradicts an already-recorded rejection between the same pair.
+    /// Strict loads fail here; lenient loads skip and count the line.
+    HostileEdge {
+        /// 1-based line number.
+        line: usize,
+        /// What made the edge hostile (`"self-loop"`, `"duplicate edge"`,
+        /// `"conflicting friend+rejection pair"`).
+        kind: &'static str,
+        /// First endpoint as written.
+        u: u32,
+        /// Second endpoint as written.
+        v: u32,
+    },
+    /// The input would grow a resource past an explicit budget (or past a
+    /// structural ceiling such as the `u32` dense-id space), so the loader
+    /// refused to keep allocating. Fatal even in lenient mode: an input
+    /// over budget is over budget no matter how many lines are skipped.
+    ResourceExhausted {
+        /// Which resource ran out (`"nodes"`, `"friendships"`,
+        /// `"rejections"`, `"node ids"`).
+        resource: &'static str,
+        /// The configured (or structural) limit.
+        limit: u64,
+        /// The observed demand that exceeded it.
+        observed: u64,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// An error annotated with the path of the file it came from.
@@ -76,6 +105,13 @@ impl fmt::Display for AugmentedIoError {
             AugmentedIoError::NodeOutOfRange { line, node } => {
                 write!(f, "node id {node} out of range on line {line}")
             }
+            AugmentedIoError::HostileEdge { line, kind, u, v } => {
+                write!(f, "hostile edge on line {line}: {kind} ({u}, {v})")
+            }
+            AugmentedIoError::ResourceExhausted { resource, limit, observed } => write!(
+                f,
+                "resource budget exhausted: {resource}: observed {observed} exceeds limit {limit}"
+            ),
             AugmentedIoError::Io(e) => write!(f, "augmented-graph i/o error: {e}"),
             AugmentedIoError::InFile { file, source } => write!(f, "{file}: {source}"),
         }
@@ -99,6 +135,44 @@ impl From<std::io::Error> for AugmentedIoError {
 }
 
 const HEADER_PREFIX: &str = "# rejecto augmented graph v1: nodes=";
+
+/// Ingest-time guards for hostile or over-sized augmented-graph files.
+///
+/// The default is fully permissive (no budgets, conflicts tolerated), which
+/// matches the historical loader behaviour. Budgets are enforced *before*
+/// allocation — a header declaring a trillion nodes fails fast instead of
+/// ballooning memory — and remain fatal even in lenient mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestGuards {
+    /// Maximum declared node count (`None` = unlimited).
+    pub max_nodes: Option<u64>,
+    /// Maximum accepted friendship lines (`None` = unlimited).
+    pub max_friendships: Option<u64>,
+    /// Maximum accepted rejection lines (`None` = unlimited).
+    pub max_rejections: Option<u64>,
+    /// Reject a friendship and a rejection between the same user pair as a
+    /// [`AugmentedIoError::HostileEdge`]. Off by default: the simulator
+    /// legitimately produces careless users who accept one request from a
+    /// spammer and reject the next.
+    pub reject_conflicts: bool,
+}
+
+impl IngestGuards {
+    /// Guards that never trip: no budgets, conflicts tolerated.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        IngestGuards::default()
+    }
+
+    /// Whether any budget or conflict check is active.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.max_nodes.is_some()
+            || self.max_friendships.is_some()
+            || self.max_rejections.is_some()
+            || self.reject_conflicts
+    }
+}
 
 /// Writes `g` in the v1 text format.
 ///
@@ -129,8 +203,38 @@ pub fn write_augmented<W: Write>(g: &AugmentedGraph, writer: W) -> Result<(), Au
 /// Returns a parse/header/range error as appropriate, or
 /// [`AugmentedIoError::Io`] on read failures.
 pub fn read_augmented<R: Read>(reader: R) -> Result<AugmentedGraph, AugmentedIoError> {
-    let (g, _) = read_augmented_impl(reader, false)?;
+    let (g, _) = read_augmented_impl(reader, false, IngestGuards::default())?;
     Ok(g)
+}
+
+/// Like [`read_augmented`], with explicit [`IngestGuards`]: node/edge
+/// budgets enforced before allocation and optional friend+rejection
+/// conflict rejection.
+///
+/// # Errors
+///
+/// Everything [`read_augmented`] returns, plus
+/// [`AugmentedIoError::ResourceExhausted`] when a guard trips.
+pub fn read_augmented_guarded<R: Read>(
+    reader: R,
+    guards: IngestGuards,
+) -> Result<AugmentedGraph, AugmentedIoError> {
+    let (g, _) = read_augmented_impl(reader, false, guards)?;
+    Ok(g)
+}
+
+/// Like [`read_augmented_lenient`], with explicit [`IngestGuards`].
+/// Hostile edges are skipped and counted; budget trips stay fatal.
+///
+/// # Errors
+///
+/// Everything [`read_augmented_lenient`] returns, plus
+/// [`AugmentedIoError::ResourceExhausted`] when a guard trips.
+pub fn read_augmented_lenient_guarded<R: Read>(
+    reader: R,
+    guards: IngestGuards,
+) -> Result<(AugmentedGraph, LoadStats), AugmentedIoError> {
+    read_augmented_impl(reader, true, guards)
 }
 
 /// Like [`read_augmented`], but malformed and out-of-range edge lines are
@@ -146,7 +250,7 @@ pub fn read_augmented<R: Read>(reader: R) -> Result<AugmentedGraph, AugmentedIoE
 pub fn read_augmented_lenient<R: Read>(
     reader: R,
 ) -> Result<(AugmentedGraph, LoadStats), AugmentedIoError> {
-    read_augmented_impl(reader, true)
+    read_augmented_impl(reader, true, IngestGuards::default())
 }
 
 enum EdgeKind {
@@ -182,16 +286,53 @@ fn parse_augmented_line(
     let u = id(parts.next())?;
     let v = id(parts.next())?;
     for x in [u, v] {
-        if x as usize >= n {
+        if usize::try_from(x).map_or(true, |xi| xi >= n) {
             return Err(AugmentedIoError::NodeOutOfRange { line: lineno, node: x });
         }
     }
     Ok((kind, u, v))
 }
 
+/// Classifies a parsed edge against what the builder has already recorded.
+/// Returns the hostile-edge `kind` or `None` for a clean, novel edge.
+fn hostile_kind(
+    b: &AugmentedGraphBuilder,
+    kind: &EdgeKind,
+    u: NodeId,
+    v: NodeId,
+    guards: IngestGuards,
+) -> Option<&'static str> {
+    if u == v {
+        return Some("self-loop");
+    }
+    match kind {
+        EdgeKind::Friend => {
+            if b.contains_friendship(u, v) {
+                Some("duplicate edge")
+            } else if guards.reject_conflicts
+                && (b.contains_rejection(u, v) || b.contains_rejection(v, u))
+            {
+                Some("conflicting friend+rejection pair")
+            } else {
+                None
+            }
+        }
+        EdgeKind::Reject => {
+            if b.contains_rejection(u, v) {
+                Some("duplicate edge")
+            } else if guards.reject_conflicts && b.contains_friendship(u, v) {
+                Some("conflicting friend+rejection pair")
+            } else {
+                None
+            }
+        }
+    }
+}
+
 fn read_augmented_impl<R: Read>(
     reader: R,
     lenient: bool,
+    guards: IngestGuards,
 ) -> Result<(AugmentedGraph, LoadStats), AugmentedIoError> {
     let mut lines = BufReader::new(reader).lines();
     let header = lines
@@ -203,8 +344,32 @@ fn read_augmented_impl<R: Read>(
         .and_then(|rest| rest.trim().parse().ok())
         .ok_or_else(|| AugmentedIoError::BadHeader { found: header.clone() })?;
 
+    // Gate the declared node count BEFORE the builder allocates three
+    // `Vec`s of `n` lists: a hostile header is the cheapest way to demand
+    // unbounded memory. The dense `u32` id space is a structural ceiling
+    // even with no configured budget.
+    let declared = u64::try_from(n).expect("declared node count fits in u64");
+    if declared > u64::from(u32::MAX) {
+        return Err(AugmentedIoError::ResourceExhausted {
+            resource: "node ids",
+            limit: u64::from(u32::MAX),
+            observed: declared,
+        });
+    }
+    if let Some(max) = guards.max_nodes {
+        if declared > max {
+            return Err(AugmentedIoError::ResourceExhausted {
+                resource: "nodes",
+                limit: max,
+                observed: declared,
+            });
+        }
+    }
+
     let mut b = AugmentedGraphBuilder::new(n);
     let mut stats = LoadStats::default();
+    let mut friendships = 0u64;
+    let mut rejections = 0u64;
     for (i, line) in lines.enumerate() {
         let lineno = i + 2;
         let line = line?;
@@ -213,10 +378,58 @@ fn read_augmented_impl<R: Read>(
             continue;
         }
         // parse_augmented_line only yields Parse / NodeOutOfRange, both of
-        // which lenient mode downgrades to a skip; Io stays fatal above.
+        // which lenient mode downgrades to a skip; Io stays fatal above,
+        // and budget trips below stay fatal in both modes.
         match parse_augmented_line(trimmed, lineno, n) {
-            Ok((EdgeKind::Friend, u, v)) => b.add_friendship(NodeId(u), NodeId(v)),
-            Ok((EdgeKind::Reject, u, v)) => b.add_rejection(NodeId(u), NodeId(v)),
+            Ok((kind, ur, vr)) => {
+                let (u, v) = (NodeId(ur), NodeId(vr));
+                if let Some(hostile) = hostile_kind(&b, &kind, u, v, guards) {
+                    if lenient {
+                        stats.record(lineno);
+                        continue;
+                    }
+                    return Err(AugmentedIoError::HostileEdge {
+                        line: lineno,
+                        kind: hostile,
+                        u: ur,
+                        v: vr,
+                    });
+                }
+                match kind {
+                    EdgeKind::Friend => {
+                        if let Some(max) = guards.max_friendships {
+                            if friendships >= max {
+                                return Err(AugmentedIoError::ResourceExhausted {
+                                    resource: "friendships",
+                                    limit: max,
+                                    observed: friendships
+                                        .checked_add(1)
+                                        .expect("friendship count fits in u64"),
+                                });
+                            }
+                        }
+                        friendships =
+                            friendships.checked_add(1).expect("friendship count fits in u64");
+                        b.add_friendship(u, v);
+                    }
+                    EdgeKind::Reject => {
+                        if let Some(max) = guards.max_rejections {
+                            if rejections >= max {
+                                return Err(AugmentedIoError::ResourceExhausted {
+                                    resource: "rejections",
+                                    limit: max,
+                                    observed: rejections
+                                        .checked_add(1)
+                                        .expect("rejection count fits in u64"),
+                                });
+                            }
+                        }
+                        rejections =
+                            rejections.checked_add(1).expect("rejection count fits in u64");
+                        b.add_rejection(u, v);
+                    }
+                }
+            }
             Err(e) => {
                 if lenient {
                     stats.record(lineno);
@@ -364,5 +577,155 @@ mod tests {
         write_augmented(&g, &mut buf).expect("write to Vec cannot fail");
         let g2 = read_augmented(buf.as_slice()).expect("roundtrip parses");
         assert_eq!(g2.num_nodes(), 0);
+    }
+
+    #[test]
+    fn strict_rejects_self_loops_with_a_typed_error() {
+        let data = format!("{HEADER_PREFIX}3\nF 1 1\n");
+        let err = read_augmented(data.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, AugmentedIoError::HostileEdge { line: 2, kind: "self-loop", u: 1, v: 1 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn strict_rejects_duplicate_friendships_either_order() {
+        let data = format!("{HEADER_PREFIX}3\nF 0 1\nF 1 0\n");
+        let err = read_augmented(data.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, AugmentedIoError::HostileEdge { line: 3, kind: "duplicate edge", .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn strict_rejects_duplicate_rejections_but_not_the_reverse_direction() {
+        let ok = format!("{HEADER_PREFIX}3\nR 0 1\nR 1 0\n");
+        read_augmented(ok.as_bytes()).expect("opposite directions are distinct edges");
+        let dup = format!("{HEADER_PREFIX}3\nR 0 1\nR 0 1\n");
+        let err = read_augmented(dup.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, AugmentedIoError::HostileEdge { kind: "duplicate edge", .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn conflicts_are_tolerated_by_default_and_rejected_on_request() {
+        // A careless user accepts one request from a spammer and rejects
+        // the next — legitimate in simulator output.
+        let data = format!("{HEADER_PREFIX}3\nF 0 1\nR 0 1\n");
+        let g = read_augmented(data.as_bytes()).expect("conflicts allowed by default");
+        assert_eq!(g.num_friendships(), 1);
+        assert_eq!(g.num_rejections(), 1);
+
+        let guards = IngestGuards { reject_conflicts: true, ..IngestGuards::default() };
+        let err = read_augmented_guarded(data.as_bytes(), guards).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AugmentedIoError::HostileEdge {
+                    kind: "conflicting friend+rejection pair",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // Reversed order (rejection first, then friendship) trips too.
+        let rev = format!("{HEADER_PREFIX}3\nR 1 0\nF 0 1\n");
+        let err = read_augmented_guarded(rev.as_bytes(), guards).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AugmentedIoError::HostileEdge {
+                    kind: "conflicting friend+rejection pair",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn lenient_mode_skips_and_counts_hostile_edges() {
+        let data = format!("{HEADER_PREFIX}3\nF 0 1\nF 0 1\nF 2 2\nR 1 2\nR 1 2\n");
+        let (g, stats) = read_augmented_lenient(data.as_bytes()).expect("lenient load");
+        assert_eq!(g.num_friendships(), 1);
+        assert_eq!(g.num_rejections(), 1);
+        assert_eq!(stats.skipped_lines, 3);
+        assert_eq!(stats.first_skipped, Some(3));
+    }
+
+    #[test]
+    fn oversized_header_fails_before_allocating() {
+        let data = format!("{HEADER_PREFIX}4294967296\n");
+        let err = read_augmented(data.as_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AugmentedIoError::ResourceExhausted { resource: "node ids", .. }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn node_budget_gates_the_declared_count() {
+        let guards = IngestGuards { max_nodes: Some(10), ..IngestGuards::default() };
+        let data = format!("{HEADER_PREFIX}11\n");
+        let err = read_augmented_guarded(data.as_bytes(), guards).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AugmentedIoError::ResourceExhausted { resource: "nodes", limit: 10, observed: 11 }
+            ),
+            "{err}"
+        );
+        let ok = format!("{HEADER_PREFIX}10\n");
+        read_augmented_guarded(ok.as_bytes(), guards).expect("at the budget is fine");
+    }
+
+    #[test]
+    fn edge_budgets_trip_even_in_lenient_mode() {
+        let guards = IngestGuards {
+            max_friendships: Some(1),
+            max_rejections: Some(1),
+            ..IngestGuards::default()
+        };
+        let data = format!("{HEADER_PREFIX}4\nF 0 1\nF 2 3\n");
+        let err = read_augmented_lenient_guarded(data.as_bytes(), guards).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AugmentedIoError::ResourceExhausted {
+                    resource: "friendships",
+                    limit: 1,
+                    observed: 2
+                }
+            ),
+            "{err}"
+        );
+        let data = format!("{HEADER_PREFIX}4\nR 0 1\nR 2 3\n");
+        let err = read_augmented_guarded(data.as_bytes(), guards).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AugmentedIoError::ResourceExhausted {
+                    resource: "rejections",
+                    limit: 1,
+                    observed: 2
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn default_guards_are_inactive() {
+        assert!(!IngestGuards::default().is_active());
+        assert!(!IngestGuards::unlimited().is_active());
+        assert!(IngestGuards { max_nodes: Some(1), ..IngestGuards::default() }.is_active());
+        assert!(IngestGuards { reject_conflicts: true, ..IngestGuards::default() }.is_active());
     }
 }

@@ -68,13 +68,17 @@ impl Partition {
         for u in g.nodes() {
             for &v in g.friends(u) {
                 if u < v && region[u.index()] != region[v.index()] {
-                    cross_friendships += 1;
+                    cross_friendships = cross_friendships
+                        .checked_add(1)
+                        .expect("cross friendship counter fits in u64");
                 }
             }
             if region[u.index()] == Region::Legit {
                 for &v in g.rejected_by(u) {
                     if region[v.index()] == Region::Suspect {
-                        cross_rejections += 1;
+                        cross_rejections = cross_rejections
+                            .checked_add(1)
+                            .expect("cross rejection counter fits in u64");
                     }
                 }
             }
@@ -137,8 +141,8 @@ impl Partition {
     /// region to the legit region; `None` when the cut carries neither
     /// friendships nor rejections (the rate is undefined, e.g. `U = ∅`).
     pub fn acceptance_rate(&self) -> Option<f64> {
-        let f = self.cross_friendships as f64;
-        let r = self.cross_rejections as f64;
+        let f = self.cross_friendships as f64; // xtask-allow: lossy-cast: edge counts are < 2^53 and convert exactly
+        let r = self.cross_rejections as f64; // xtask-allow: lossy-cast: edge counts are < 2^53 and convert exactly
         if f + r == 0.0 {
             None
         } else {
@@ -176,8 +180,14 @@ impl Partition {
             .expect("cross rejection counter underflow");
         self.region[u.index()] = to;
         match to {
-            Region::Suspect => self.suspect_count += 1,
-            Region::Legit => self.suspect_count -= 1,
+            Region::Suspect => {
+                self.suspect_count =
+                    self.suspect_count.checked_add(1).expect("suspect count fits in usize");
+            }
+            Region::Legit => {
+                self.suspect_count =
+                    self.suspect_count.checked_sub(1).expect("suspect count underflow");
+            }
         }
         to
     }

@@ -21,6 +21,18 @@ pub enum GraphError {
         /// The unparsable content.
         content: String,
     },
+    /// An input would grow a resource past an explicit budget (or past a
+    /// structural ceiling such as the `u32` dense-id space), so the loader
+    /// refused to keep allocating. Hostile inputs surface here instead of
+    /// ballooning memory until the allocator aborts.
+    ResourceExhausted {
+        /// Which resource ran out (`"nodes"`, `"edges"`, `"node ids"`, ...).
+        resource: &'static str,
+        /// The configured (or structural) limit.
+        limit: u64,
+        /// The observed demand that exceeded it.
+        observed: u64,
+    },
     /// Underlying I/O failure while reading or writing an edge list.
     Io(io::Error),
     /// An error annotated with the path of the file it came from, so a
@@ -53,6 +65,10 @@ impl fmt::Display for GraphError {
             GraphError::Parse { line, token, content } => {
                 write!(f, "cannot parse edge-list line {line}: bad token {token:?} in {content:?}")
             }
+            GraphError::ResourceExhausted { resource, limit, observed } => write!(
+                f,
+                "resource budget exhausted: {resource}: observed {observed} exceeds limit {limit}"
+            ),
             GraphError::Io(e) => write!(f, "edge-list i/o error: {e}"),
             GraphError::InFile { file, source } => write!(f, "{file}: {source}"),
         }
@@ -103,6 +119,14 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("line 3"), "{msg}");
         assert!(msg.contains("banana"), "{msg}");
+    }
+
+    #[test]
+    fn resource_exhausted_names_limit_and_observed() {
+        let e = GraphError::ResourceExhausted { resource: "edges", limit: 10, observed: 11 };
+        let msg = e.to_string();
+        assert!(msg.contains("edges"), "{msg}");
+        assert!(msg.contains("11 exceeds limit 10"), "{msg}");
     }
 
     #[test]

@@ -86,7 +86,8 @@ impl Graph {
 
     /// Iterator over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.adj.len() as u32).map(NodeId)
+        let n = u32::try_from(self.adj.len()).expect("node count fits the u32 id space");
+        (0..n).map(NodeId)
     }
 
     /// Iterator over every undirected edge exactly once, as `(u, v)` with
@@ -131,8 +132,8 @@ impl Iterator for EdgesIter<'_> {
     type Item = (NodeId, NodeId);
 
     fn next(&mut self) -> Option<Self::Item> {
-        while (self.u as usize) < self.graph.adj.len() {
-            let list = &self.graph.adj[self.u as usize];
+        while NodeId(self.u).index() < self.graph.adj.len() {
+            let list = &self.graph.adj[NodeId(self.u).index()];
             while self.pos < list.len() {
                 let v = list[self.pos];
                 self.pos += 1;
@@ -260,12 +261,16 @@ impl GraphBuilder {
     }
 
     /// Finalizes into an immutable [`Graph`] with sorted adjacency.
+    ///
+    /// Edge counting uses checked arithmetic end to end: a hostile input
+    /// cannot wrap the degree sum into a silently-wrong `num_edges`.
     pub fn build(mut self) -> Graph {
         let mut num_edges = 0u64;
         for list in &mut self.adj {
             list.sort_unstable();
             list.dedup();
-            num_edges += list.len() as u64;
+            let deg = u64::try_from(list.len()).expect("degree fits in u64");
+            num_edges = num_edges.checked_add(deg).expect("degree sum fits in u64");
         }
         let g = Graph { adj: self.adj, num_edges: num_edges / 2 };
         #[cfg(feature = "debug-invariants")]
@@ -292,7 +297,8 @@ impl Graph {
         let mut degree_sum = 0u64;
         for (i, list) in self.adj.iter().enumerate() {
             let u = NodeId::from_index(i);
-            degree_sum += list.len() as u64;
+            let deg = u64::try_from(list.len()).expect("degree fits in u64");
+            degree_sum = degree_sum.checked_add(deg).expect("degree sum fits in u64");
             for w in list.windows(2) {
                 assert!(
                     w[0] < w[1],

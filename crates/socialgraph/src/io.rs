@@ -37,6 +37,40 @@ impl LoadStats {
     }
 }
 
+/// Resource ceilings for the edge-list readers (DESIGN.md §15). The input
+/// to a spam detector is attacker-shaped, so the loaders must refuse to
+/// keep allocating past an explicit budget instead of riding an adversarial
+/// byte stream into an allocator abort. `None` means unlimited; budget
+/// violations are fatal even for the lenient readers (a malformed *line*
+/// is recoverable, unbounded growth is not).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeListLimits {
+    /// Maximum number of distinct nodes the load may intern.
+    pub max_nodes: Option<u64>,
+    /// Maximum number of edge lines the load may buffer (counted before
+    /// dedup — buffering is what the budget protects).
+    pub max_edges: Option<u64>,
+}
+
+impl EdgeListLimits {
+    /// No ceilings at all; identical to `EdgeListLimits::default()`.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        EdgeListLimits::default()
+    }
+
+    /// Whether any ceiling is set.
+    #[must_use]
+    pub fn is_limited(&self) -> bool {
+        self.max_nodes.is_some() || self.max_edges.is_some()
+    }
+}
+
+/// `count` as a `u64` for budget accounting; collection lengths always fit.
+fn observed(count: usize) -> u64 {
+    u64::try_from(count).expect("collection length fits in u64")
+}
+
 /// Parses one non-comment edge-list line into its raw endpoint labels,
 /// naming the offending token on failure.
 fn parse_edge_line(trimmed: &str, lineno: usize) -> Result<(u64, u64), GraphError> {
@@ -76,7 +110,24 @@ fn parse_edge_line(trimmed: &str, lineno: usize) -> Result<(u64, u64), GraphErro
 /// # Ok::<(), socialgraph::GraphError>(())
 /// ```
 pub fn read_edge_list<R: Read>(reader: R) -> Result<(Graph, Vec<u64>), GraphError> {
-    let (g, labels, _) = read_edge_list_impl(reader, false)?;
+    let (g, labels, _) = read_edge_list_impl(reader, false, EdgeListLimits::unlimited())?;
+    Ok((g, labels))
+}
+
+/// Like [`read_edge_list`], but enforcing the node/edge ceilings of
+/// `limits`: the load fails with [`GraphError::ResourceExhausted`] the
+/// moment the input would intern more nodes or buffer more edge lines than
+/// allowed, before the over-budget allocation happens.
+///
+/// # Errors
+///
+/// Everything [`read_edge_list`] returns, plus
+/// [`GraphError::ResourceExhausted`] on a tripped ceiling.
+pub fn read_edge_list_bounded<R: Read>(
+    reader: R,
+    limits: EdgeListLimits,
+) -> Result<(Graph, Vec<u64>), GraphError> {
+    let (g, labels, _) = read_edge_list_impl(reader, false, limits)?;
     Ok((g, labels))
 }
 
@@ -100,12 +151,29 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<(Graph, Vec<u64>), GraphErro
 pub fn read_edge_list_lenient<R: Read>(
     reader: R,
 ) -> Result<(Graph, Vec<u64>, LoadStats), GraphError> {
-    read_edge_list_impl(reader, true)
+    read_edge_list_impl(reader, true, EdgeListLimits::unlimited())
+}
+
+/// Like [`read_edge_list_lenient`], but enforcing the node/edge ceilings
+/// of `limits`. A tripped ceiling stays fatal even in lenient mode: skipping
+/// a malformed line loses one edge, but over-budget growth is the hostile
+/// condition the budget exists to stop.
+///
+/// # Errors
+///
+/// Everything [`read_edge_list_lenient`] returns, plus
+/// [`GraphError::ResourceExhausted`] on a tripped ceiling.
+pub fn read_edge_list_lenient_bounded<R: Read>(
+    reader: R,
+    limits: EdgeListLimits,
+) -> Result<(Graph, Vec<u64>, LoadStats), GraphError> {
+    read_edge_list_impl(reader, true, limits)
 }
 
 fn read_edge_list_impl<R: Read>(
     reader: R,
     lenient: bool,
+    limits: EdgeListLimits,
 ) -> Result<(Graph, Vec<u64>, LoadStats), GraphError> {
     let reader = BufReader::new(reader);
     // BTreeMap rather than HashMap: this crate's kernels are under the
@@ -116,11 +184,31 @@ fn read_edge_list_impl<R: Read>(
     let mut edges: Vec<(u32, u32)> = Vec::new();
     let mut stats = LoadStats::default();
 
-    let intern = |raw: u64, ids: &mut BTreeMap<u64, u32>, labels: &mut Vec<u64>| -> u32 {
-        *ids.entry(raw).or_insert_with(|| {
-            labels.push(raw);
-            (labels.len() - 1) as u32
-        })
+    // Interning is fallible: dense ids live in `u32`, so a stream with more
+    // than 2^32 distinct labels is structurally overflow-sized whatever the
+    // budget says, and the configured `max_nodes` ceiling trips first when
+    // one is set.
+    let intern = |raw: u64, ids: &mut BTreeMap<u64, u32>, labels: &mut Vec<u64>| -> Result<u32, GraphError> {
+        if let Some(&id) = ids.get(&raw) {
+            return Ok(id);
+        }
+        if let Some(max) = limits.max_nodes {
+            if observed(labels.len()) >= max {
+                return Err(GraphError::ResourceExhausted {
+                    resource: "nodes",
+                    limit: max,
+                    observed: observed(labels.len()) + 1,
+                });
+            }
+        }
+        let next = u32::try_from(labels.len()).map_err(|_| GraphError::ResourceExhausted {
+            resource: "node ids",
+            limit: u64::from(u32::MAX),
+            observed: observed(labels.len()),
+        })?;
+        labels.push(raw);
+        ids.insert(raw, next);
+        Ok(next)
     };
 
     for (lineno, line) in reader.lines().enumerate() {
@@ -141,8 +229,17 @@ fn read_edge_list_impl<R: Read>(
                 return Err(e);
             }
         };
-        let u = intern(u, &mut ids, &mut labels);
-        let v = intern(v, &mut ids, &mut labels);
+        if let Some(max) = limits.max_edges {
+            if observed(edges.len()) >= max {
+                return Err(GraphError::ResourceExhausted {
+                    resource: "edges",
+                    limit: max,
+                    observed: observed(edges.len()) + 1,
+                });
+            }
+        }
+        let u = intern(u, &mut ids, &mut labels)?;
+        let v = intern(v, &mut ids, &mut labels)?;
         edges.push((u, v));
     }
 
@@ -256,6 +353,68 @@ mod tests {
         let (g2, _) = read_edge_list(buf.as_slice()).expect("roundtrip parses");
         assert_eq!(g2.num_nodes(), 4);
         assert_eq!(g2.num_edges(), 3);
+    }
+
+    #[test]
+    fn bounded_load_rejects_over_budget_nodes() {
+        let data = "1 2\n3 4\n";
+        let err = read_edge_list_bounded(
+            data.as_bytes(),
+            EdgeListLimits { max_nodes: Some(3), max_edges: None },
+        )
+        .unwrap_err();
+        match err {
+            GraphError::ResourceExhausted { resource, limit, observed } => {
+                assert_eq!(resource, "nodes");
+                assert_eq!(limit, 3);
+                assert_eq!(observed, 4);
+            }
+            other => panic!("expected ResourceExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn bounded_load_rejects_over_budget_edges() {
+        let data = "1 2\n2 3\n3 1\n";
+        let err = read_edge_list_bounded(
+            data.as_bytes(),
+            EdgeListLimits { max_nodes: None, max_edges: Some(2) },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, GraphError::ResourceExhausted { resource: "edges", limit: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn bounded_load_at_the_exact_budget_succeeds() {
+        let data = "1 2\n2 3\n";
+        let (g, labels) = read_edge_list_bounded(
+            data.as_bytes(),
+            EdgeListLimits { max_nodes: Some(3), max_edges: Some(2) },
+        )
+        .expect("exact-budget load succeeds");
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn lenient_bounded_load_still_fails_on_budget() {
+        // Malformed lines skip, but the budget trip stays fatal.
+        let data = "1 2\nbanana\n3 4\n";
+        let err = read_edge_list_lenient_bounded(
+            data.as_bytes(),
+            EdgeListLimits { max_nodes: Some(2), max_edges: None },
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::ResourceExhausted { resource: "nodes", .. }), "{err}");
+    }
+
+    #[test]
+    fn unlimited_limits_report_unlimited() {
+        assert!(!EdgeListLimits::unlimited().is_limited());
+        assert!(EdgeListLimits { max_nodes: Some(1), max_edges: None }.is_limited());
     }
 
     #[test]

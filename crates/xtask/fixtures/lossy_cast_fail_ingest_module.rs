@@ -1,0 +1,15 @@
+//~ crate: rejection
+//~ path: crates/rejection/src/io.rs
+//~ expect: lossy-cast@14
+
+// The `rejection` crate is not in LOSSY_CAST_CRATES, but this path is one
+// of the individually-audited LOSSY_CAST_MODULES (hostile-input ingest):
+// a silent wrap in its bookkeeping is an adversarial primitive.
+
+pub fn degree_as_float(degree: u64) -> f64 {
+    degree as f64 //~ expect: lossy-cast
+}
+
+pub fn line_to_index(line: u64) -> usize {
+    line as usize // xtask-allow: lossy-cast
+}

@@ -1,0 +1,15 @@
+//~ crate: rejection
+//~ path: crates/rejection/src/helpers.rs
+
+// The lossy-cast audit over the `rejection` crate is *module*-scoped
+// (LOSSY_CAST_MODULES lists the ingest/cut-bookkeeping paths): this file
+// is not on the list, so its legacy cast does not fire — and an audited
+// construction with a stated range invariant stays expressible.
+
+pub fn legacy_index(node: u64) -> usize {
+    node as usize
+}
+
+pub fn checked_count(observed: usize) -> u64 {
+    u64::try_from(observed).expect("usize fits in u64 on every supported target")
+}

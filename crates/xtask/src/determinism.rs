@@ -72,7 +72,7 @@ fn graph_bytes(sim: &SimOutput) -> Result<Vec<u8>, String> {
 /// Canonical, bit-exact rendering of a detection report. The winning `k`
 /// is an exact rational, rendered as `num/den`; acceptance rates are
 /// compared by `f64::to_bits`.
-fn render_report(report: &DetectionReport) -> String {
+pub(crate) fn render_report(report: &DetectionReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "rounds={}", report.rounds);
     for g in &report.groups {
@@ -204,7 +204,7 @@ pub fn run() -> Result<String, String> {
 
 /// A scratch directory for durable-store legs, unique per process and
 /// leg; removed best-effort when the leg succeeds.
-fn scratch(tag: &str) -> PathBuf {
+pub(crate) fn scratch(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("rejecto-determinism-{}-{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("scratch dir is creatable");
@@ -488,7 +488,7 @@ const WORKER_COUNTS: [usize; 2] = [1, 4];
 /// A cluster shape that keeps fault recovery fast in-harness: a tight
 /// watchdog deadline and no respawn backoff. Correctness must not depend
 /// on either knob — only wall time does.
-fn snappy_cluster(workers: usize) -> ClusterConfig {
+pub(crate) fn snappy_cluster(workers: usize) -> ClusterConfig {
     ClusterConfig {
         num_workers: workers,
         request_deadline: Duration::from_millis(50),

@@ -35,8 +35,10 @@
 //!    order-asserting helper or pragma (accumulation order changes the
 //!    result in floating point); no `f32`/`f64` `BTreeMap`/`BTreeSet`
 //!    keys.
-//! 8. **lossy-cast** — in the [`LOSSY_CAST_CRATES`], `as` casts to a
-//!    numeric primitive are banned: integer-width changes truncate or
+//! 8. **lossy-cast** — in the [`LOSSY_CAST_CRATES`] and the
+//!    individually-audited [`LOSSY_CAST_MODULES`] (the hostile-input
+//!    ingest and cut-bookkeeping paths), `as` casts to a numeric
+//!    primitive are banned: integer-width changes truncate or
 //!    wrap, float↔int casts saturate, and all of them do it silently.
 //!    Use `From`/`TryFrom`, or carry a pragma **that states the range
 //!    invariant** making the cast lossless
@@ -135,6 +137,20 @@ pub const FLOAT_CRATES: &[&str] =
 /// must agree across platforms. (`socialgraph` and `dataflow` carry a
 /// larger legacy of index casts and join the audit in a later pass.)
 pub const LOSSY_CAST_CRATES: &[&str] = &["kl", "core", "sybilrank", "votetrust"];
+
+/// Modules outside the [`LOSSY_CAST_CRATES`] that join the **lossy-cast**
+/// audit individually: the hostile-input ingest and cut-bookkeeping paths,
+/// where a silently wrapping degree or cut counter is an adversarial
+/// primitive (feed crafted edges until a counter wraps) rather than a
+/// cosmetic bug. Repo-relative paths; the rest of `socialgraph` and
+/// `dataflow` still carry legacy index casts and join in a later pass.
+pub const LOSSY_CAST_MODULES: &[&str] = &[
+    "crates/socialgraph/src/graph.rs",
+    "crates/socialgraph/src/io.rs",
+    "crates/rejection/src/augmented.rs",
+    "crates/rejection/src/partition.rs",
+    "crates/rejection/src/io.rs",
+];
 
 /// Crates exempt from **obs-discipline**: `obs` *is* the observability
 /// layer (its spans and `Stopwatch` are the sanctioned clock reads), and
@@ -439,7 +455,8 @@ pub fn lint_file(f: &SourceFile) -> Vec<Violation> {
     let panic_banned = unwrap_banned && in_src && !f.rel_path.contains("invariants");
     let assert_banned = panic_banned && NO_ASSERT_CRATES.contains(&f.crate_name);
     let float_banned = FLOAT_CRATES.contains(&f.crate_name) && in_src;
-    let cast_banned = LOSSY_CAST_CRATES.contains(&f.crate_name)
+    let cast_banned = (LOSSY_CAST_CRATES.contains(&f.crate_name)
+        || LOSSY_CAST_MODULES.contains(&f.rel_path))
         && in_src
         && !f.rel_path.contains("invariants");
     let channel_banned = CHANNEL_CRATES.contains(&f.crate_name) && in_src;

@@ -14,6 +14,11 @@
 //! * `check --determinism` — additionally run the in-process determinism
 //!   harness ([`determinism`]): simulate → detect twice from one seed,
 //!   diff byte-for-byte.
+//! * `chaos --seeds N [--json <path>]` — seeded chaos soak ([`chaos`]):
+//!   expand each seed into a composite multi-fault schedule plus an
+//!   adversarial scenario, run it at threads {1,4} and workers {1,4},
+//!   and hold every leg to the typed-termination / byte-identity /
+//!   metrics-reconciliation invariants.
 //!
 //! Exit code 0 means clean; 1 means violations (each printed as
 //! `file:line: [rule] message`) or a determinism failure; 2 means usage
@@ -22,6 +27,7 @@
 
 #![forbid(unsafe_code)]
 
+mod chaos;
 mod determinism;
 mod fix;
 mod lexer;
@@ -34,7 +40,8 @@ use lint::{SourceFile, Violation};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo xtask check [--determinism] [--json] [--fix-dry-run]";
+const USAGE: &str = "usage: cargo xtask check [--determinism] [--json] [--fix-dry-run]\n\
+                     \x20      cargo xtask chaos [--seeds N] [--json <path>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,6 +63,43 @@ fn main() -> ExitCode {
                 }
             }
             check(with_determinism, json, fix_dry_run)
+        }
+        Some("chaos") => {
+            let mut seeds: u64 = 16;
+            let mut json_path: Option<String> = None;
+            loop {
+                match it.next() {
+                    Some("--seeds") => match it.next().map(str::parse) {
+                        Some(Ok(n)) => seeds = n,
+                        _ => {
+                            eprintln!("--seeds needs an integer; {USAGE}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    Some("--json") => match it.next() {
+                        Some(path) => json_path = Some(path.to_string()),
+                        None => {
+                            eprintln!("--json needs a path; {USAGE}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    Some(other) => {
+                        eprintln!("unknown flag {other:?}; {USAGE}");
+                        return ExitCode::from(2);
+                    }
+                    None => break,
+                }
+            }
+            match chaos::run(seeds, json_path.as_deref()) {
+                Ok(summary) => {
+                    println!("{summary}");
+                    ExitCode::SUCCESS
+                }
+                Err(why) => {
+                    eprintln!("chaos: FAILED — {why}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         Some(other) => {
             eprintln!("unknown command {other:?}; {USAGE}");

@@ -5,7 +5,7 @@ use dataflow::{ClusterConfig, DistributedDetector};
 use rejecto_core::store::atomic_write;
 use rejecto_core::{
     Checkpoint, CheckpointStore, Completion, DetectionReport, FaultPlan, InterruptReason,
-    IterativeDetector, RejectoConfig, Seeds, StoreFaults, Termination,
+    IterativeDetector, RejectoConfig, ResourceBudget, Seeds, StoreFaults, Termination,
 };
 use rejection::io::LoadStats;
 use rejection::AugmentedGraph;
@@ -61,14 +61,22 @@ fn open_file(path: &str) -> Result<File, CliError> {
     File::open(path).map_err(|e| CliError(format!("{path}: {e}")))
 }
 
-/// Loads an augmented graph, strictly or leniently; lenient loads return
-/// the skip accounting so commands can surface the degradation.
-fn load_augmented(path: &str, lenient: bool) -> Result<(AugmentedGraph, LoadStats), CliError> {
+/// Loads an augmented graph, strictly or leniently, under the given ingest
+/// guards (resource ceilings + hostile-edge policy); lenient loads return
+/// the skip accounting so commands can surface the degradation. Budget
+/// trips are fatal in both modes — an over-budget input must never be
+/// half-ingested as a smaller graph.
+fn load_augmented(
+    path: &str,
+    lenient: bool,
+    guards: rejection::io::IngestGuards,
+) -> Result<(AugmentedGraph, LoadStats), CliError> {
     let file = open_file(path)?;
     if lenient {
-        Ok(rejection::io::read_augmented_lenient(file).map_err(|e| e.in_file(path))?)
+        Ok(rejection::io::read_augmented_lenient_guarded(file, guards)
+            .map_err(|e| e.in_file(path))?)
     } else {
-        let g = rejection::io::read_augmented(file).map_err(|e| e.in_file(path))?;
+        let g = rejection::io::read_augmented_guarded(file, guards).map_err(|e| e.in_file(path))?;
         Ok((g, LoadStats::default()))
     }
 }
@@ -219,6 +227,7 @@ fn interrupt_name(reason: InterruptReason) -> &'static str {
         InterruptReason::Deadline => "deadline",
         InterruptReason::PassBudget => "kl-pass budget",
         InterruptReason::RoundBudget => "round budget",
+        InterruptReason::ResourceBudget => "resource budget",
         InterruptReason::Cancelled => "cancellation",
         _ => "interrupt",
     }
@@ -295,6 +304,11 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
     let deadline_ms: Option<u64> = args.get_opt("deadline-ms")?;
     let max_passes: Option<u64> = args.get_opt("max-passes")?;
     let max_rounds: Option<usize> = args.get_opt("max-rounds")?;
+    let max_nodes: Option<u64> = args.get_opt("max-nodes")?;
+    let max_edges: Option<u64> = args.get_opt("max-edges")?;
+    let max_rejections: Option<u64> = args.get_opt("max-rejections")?;
+    let max_checkpoint_bytes: Option<u64> = args.get_opt("max-checkpoint-bytes")?;
+    let max_suspect_frac: Option<f64> = args.get_opt("max-suspect-frac")?;
     let checkpoint_path = args.get("checkpoint");
     let checkpoint_keep: Option<usize> = args.get_opt("checkpoint-keep")?;
     let resume_path = args.get("resume");
@@ -320,8 +334,27 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
     if checkpoint_keep == Some(0) {
         return Err(CliError("--checkpoint-keep must retain at least 1 generation".to_string()));
     }
+    if let Some(frac) = max_suspect_frac {
+        if !(frac > 0.0 && frac <= 1.0) {
+            return Err(CliError(
+                "--max-suspect-frac must be a fraction in (0, 1]".to_string(),
+            ));
+        }
+    }
 
-    let (g, load_stats) = load_augmented(&graph_path, lenient)?;
+    // Resource ceilings (space), distinct from the `--deadline-ms` /
+    // `--max-passes` / `--max-rounds` run budgets (time). The ingest
+    // guards bound the loader *before* allocation; the rest ride the
+    // config into the detection loop and the checkpoint store.
+    let resources = ResourceBudget {
+        max_nodes,
+        max_edges,
+        max_rejections,
+        max_checkpoint_bytes,
+        max_suspect_frac,
+    };
+
+    let (g, load_stats) = load_augmented(&graph_path, lenient, resources.ingest_guards())?;
     if load_stats.is_degraded() {
         if let Some(obs) = &obs {
             let skipped =
@@ -366,12 +399,15 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
     if let Some(spec) = &inject_spec {
         config.faults = FaultPlan::parse(spec).map_err(|e| CliError(format!("--inject: {e}")))?;
     }
+    config.resources = resources;
 
     // The durable store behind `--checkpoint`: generation files plus a
     // framed manifest, with any armed torn-write/bit-flip mangles and the
     // metrics registry attached.
     let store = checkpoint_path.as_ref().map(|p| {
-        let mut s = CheckpointStore::new(p).with_faults(StoreFaults::new(&config.faults));
+        let mut s = CheckpointStore::new(p)
+            .with_faults(StoreFaults::new(&config.faults))
+            .with_limit(max_checkpoint_bytes);
         if let Some(keep) = checkpoint_keep {
             s = s.with_keep(keep);
         }
@@ -386,7 +422,7 @@ fn detect<W: Write>(mut args: Args, out: &mut W) -> Result<(), CliError> {
     // away and recorded as a structured failure on the final report.
     let resumed = match &resume_path {
         Some(p) => {
-            let mut resume_store = CheckpointStore::new(p);
+            let mut resume_store = CheckpointStore::new(p).with_limit(max_checkpoint_bytes);
             if let Some(obs) = &obs {
                 resume_store = resume_store.with_obs(obs.clone());
             }
@@ -864,6 +900,71 @@ mod tests {
         let serial = run_with("1");
         assert_eq!(serial, run_with("4"), "threads=4 output differs from serial");
         assert_eq!(serial, run_with("0"), "threads=auto output differs from serial");
+    }
+
+    #[test]
+    fn detect_max_nodes_budget_is_a_typed_error_before_allocation() {
+        let dir = tmpdir();
+        let stem = dir.join("res-nodes");
+        let stem_s = stem.to_str().unwrap();
+        run_to_string("simulate", &["--out", stem_s, "--scale", "0.03", "--fakes", "40"]).unwrap();
+        let graph = format!("{stem_s}.rjg");
+        let err = run_to_string("detect", &["--graph", &graph, "--max-nodes", "5"])
+            .expect_err("a 5-node ceiling must reject the simulated graph");
+        assert!(err.0.contains("resource budget exhausted: nodes"), "{err}");
+        // Within budget, the same flags load fine.
+        run_to_string(
+            "detect",
+            &["--graph", &graph, "--budget", "40", "--max-nodes", "100000"],
+        )
+        .expect("a generous ceiling must not trip");
+    }
+
+    #[test]
+    fn detect_max_suspect_frac_reports_a_resource_budget_partial() {
+        let dir = tmpdir();
+        let stem = dir.join("res-frac");
+        let stem_s = stem.to_str().unwrap();
+        run_to_string("simulate", &["--out", stem_s, "--scale", "0.03", "--fakes", "40"]).unwrap();
+        let out = run_to_string(
+            "detect",
+            &[
+                "--graph",
+                &format!("{stem_s}.rjg"),
+                "--budget",
+                "40",
+                "--json",
+                "true",
+                "--max-suspect-frac",
+                "0.001",
+            ],
+        )
+        .unwrap();
+        assert!(out.contains("\"partial\":\"resource budget\""), "{out}");
+    }
+
+    #[test]
+    fn detect_max_checkpoint_bytes_degrades_the_save_with_a_typed_failure() {
+        let dir = tmpdir();
+        let stem = dir.join("res-ckpt");
+        let stem_s = stem.to_str().unwrap();
+        run_to_string("simulate", &["--out", stem_s, "--scale", "0.03", "--fakes", "40"]).unwrap();
+        let out = run_to_string(
+            "detect",
+            &[
+                "--graph",
+                &format!("{stem_s}.rjg"),
+                "--budget",
+                "40",
+                "--checkpoint",
+                &format!("{stem_s}.ckpt"),
+                "--max-checkpoint-bytes",
+                "32",
+            ],
+        )
+        .unwrap();
+        assert!(out.contains("degraded:"), "{out}");
+        assert!(out.contains("exceeds the 32-byte budget"), "{out}");
     }
 
     #[test]

@@ -67,6 +67,23 @@ COMMANDS:
                                       returns a partial report
                 --max-passes <n>      global KL inner-pass budget
                 --max-rounds <n>      stop after n completed prune rounds
+                --max-nodes <n>       resource ceiling: reject inputs
+                                      declaring more than n nodes before
+                                      any allocation happens
+                --max-edges <n>       resource ceiling on friendship edges
+                --max-rejections <n>  resource ceiling on rejection edges
+                --max-checkpoint-bytes <n>
+                                      resource ceiling on any checkpoint
+                                      artifact, enforced on save (the frame
+                                      is never written) and on load (gated
+                                      on file metadata before the bytes
+                                      are read)
+                --max-suspect-frac <f>
+                                      resource ceiling on the cumulative
+                                      suspect fraction of the input graph;
+                                      the offending round is rolled back
+                                      and the run reports a partial result
+                                      (deterministic)
                 --checkpoint <stem>   write checksummed checkpoint
                                       generations (<stem>.gen-<round>.json
                                       plus <stem>.manifest) after every
